@@ -1,0 +1,66 @@
+"""A1/A2: Section IV-C ablations -- structure exploitation and artifacts.
+
+Times the spectral triangle exploit against honest counting (the
+exploitability gap the paper warns about) and the artifact metrics, and
+prints both ablation tables.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics.triangles import global_triangles
+from repro.experiments.ablation_artifacts import run_ablation_artifacts
+from repro.experiments.ablation_exploit import (
+    run_ablation_exploit,
+    spectral_triangle_exploit,
+)
+from repro.groundtruth.spectrum import factor_eigenvalues
+from repro.kronecker import kron_product
+
+
+@pytest.fixture(scope="module")
+def exploit_setup(bench_er_pair):
+    a, b = bench_er_pair
+    c = kron_product(a, b)
+    return a, b, c
+
+
+def test_bench_honest_triangle_count(benchmark, exploit_setup):
+    """What a fair benchmark run pays on the materialized product."""
+    a, b, c = exploit_setup
+    tau = benchmark.pedantic(global_triangles, args=(c,), rounds=2, iterations=1)
+    assert tau > 0
+
+
+def test_bench_spectral_exploit(benchmark, exploit_setup):
+    """The Kronecker shortcut: factor eigensolves only."""
+    a, b, c = exploit_setup
+
+    def exploit():
+        return spectral_triangle_exploit(
+            factor_eigenvalues(a), factor_eigenvalues(b)
+        )
+
+    tau = benchmark(exploit)
+    assert abs(tau - global_triangles(c)) < 1e-6 * global_triangles(c)
+
+
+def test_bench_exploit_ablation(benchmark, capsys):
+    """Whole A1 driver; prints the blind-vs-informed accuracy table."""
+    result = benchmark.pedantic(
+        run_ablation_exploit, kwargs={"factor_n": 18}, rounds=1, iterations=1
+    )
+    by_nu = {p.nu: p for p in result.points}
+    assert by_nu[0.90].naive_rel_err > 0.1
+    with capsys.disabled():
+        print("\n" + result.to_text())
+
+
+def test_bench_artifact_ablation(benchmark, capsys):
+    """Whole A2 driver; prints the artifact comparison table."""
+    result = benchmark.pedantic(
+        run_ablation_artifacts, kwargs={"factor_n": 70}, rounds=1, iterations=1
+    )
+    assert result.num_missing_primes > 0
+    with capsys.disabled():
+        print("\n" + result.to_text())

@@ -1,0 +1,79 @@
+"""Validation-workflow bench: approximation algorithms vs formula ground truth.
+
+The paper's motivating workflow timed end to end: run an approximation on
+the materialized product and score it against factor-formula ground truth.
+Shows the asymmetry the paper sells -- the scoring side (formulas) is
+orders of magnitude cheaper than the algorithm under test.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    approx_closeness_sampling,
+    approx_eccentricities_pivot,
+    eccentricities,
+    hop_matrix,
+)
+from repro.analytics.eccentricity import exact_eccentricities
+from repro.graph import gnutella_like
+from repro.groundtruth import (
+    closeness_product_histogram,
+    eccentricity_product_all,
+)
+from repro.kronecker import kron_product
+
+
+@pytest.fixture(scope="module")
+def validation_setup():
+    a = gnutella_like(n=80)
+    c = kron_product(a, a)
+    ecc_a = exact_eccentricities(a).eccentricities
+    return a, c, ecc_a
+
+
+def test_bench_algorithm_under_test(benchmark, validation_setup):
+    """The expensive side: pivot eccentricity estimation on the product."""
+    a, c, ecc_a = validation_setup
+    est = benchmark.pedantic(
+        approx_eccentricities_pivot, args=(c, 8), kwargs={"seed": 1},
+        rounds=2, iterations=1,
+    )
+    assert len(est) == c.n
+
+
+def test_bench_groundtruth_scoring(benchmark, validation_setup):
+    """The cheap side: exact reference values from factor data."""
+    a, c, ecc_a = validation_setup
+    truth = benchmark(eccentricity_product_all, ecc_a, ecc_a)
+    assert len(truth) == c.n
+
+
+def test_estimator_bounded_by_truth(validation_setup):
+    a, c, ecc_a = validation_setup
+    truth = eccentricity_product_all(ecc_a, ecc_a)
+    est = approx_eccentricities_pivot(c, 8, seed=1)
+    assert np.all(est >= truth)
+
+
+def test_bench_sampled_closeness(benchmark, validation_setup):
+    """Sampled closeness on the product (the ref-[4] family)."""
+    a, c, _ = validation_setup
+    est = benchmark.pedantic(
+        approx_closeness_sampling, args=(c, 128), kwargs={"seed": 2},
+        rounds=2, iterations=1,
+    )
+    assert len(est) == c.n
+
+
+def test_sampled_closeness_accuracy_vs_thm4(validation_setup):
+    a, c, _ = validation_setup
+    h_a = hop_matrix(a)
+    est = approx_closeness_sampling(c, 128, seed=2)
+    rng = np.random.default_rng(3)
+    errs = []
+    for p in rng.choice(c.n, size=10, replace=False):
+        i, k = divmod(int(p), a.n)
+        truth = closeness_product_histogram(h_a[i], h_a[k])
+        errs.append(abs(est[p] - truth) / truth)
+    assert np.median(errs) < 0.2

@@ -1,0 +1,56 @@
+"""E6: Section V-B -- naive vs histogram closeness evaluation.
+
+The paper's claim: r^2 closeness values cost O(r^2 n_A n_B) naively but
+O(r n log n + r^2 h*) with the factored rewrite.  The benches time both on
+the same hop rows; the speedup should grow with factor size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics.distances import hop_matrix
+from repro.experiments.closeness_methods import run_closeness_methods
+from repro.graph.generators import erdos_renyi
+from repro.groundtruth.closeness import closeness_product_subset
+
+
+def _hop_rows(n, seed):
+    g = erdos_renyi(n, max(0.08, 4.0 / n), seed=seed).with_full_self_loops()
+    return hop_matrix(g)
+
+
+@pytest.fixture(scope="module")
+def hops_240():
+    return _hop_rows(240, 2001), _hop_rows(240, 2002)
+
+
+@pytest.mark.parametrize("method", ["naive", "histogram"])
+def test_bench_subset_closeness(benchmark, hops_240, method):
+    """8x8 product-vertex subset with each evaluation strategy."""
+    h_a, h_b = hops_240
+    out = benchmark(
+        closeness_product_subset, h_a[:8], h_b[:8], method=method
+    )
+    assert out.shape == (8, 8)
+
+
+def test_methods_agree(hops_240):
+    h_a, h_b = hops_240
+    fast = closeness_product_subset(h_a[:8], h_b[:8], method="histogram")
+    slow = closeness_product_subset(h_a[:8], h_b[:8], method="naive")
+    assert np.allclose(fast, slow)
+
+
+def test_bench_sweep_experiment(benchmark, capsys):
+    """Whole E6 sweep; prints the speedup table."""
+    result = benchmark.pedantic(
+        run_closeness_methods,
+        kwargs={"factor_sizes": (60, 120, 240), "subset_sizes": (4, 8)},
+        rounds=1,
+        iterations=1,
+    )
+    assert all(p.max_abs_diff < 1e-9 for p in result.points)
+    # paper's crossover: histogram wins once n_A n_B >> h*
+    assert result.points[-1].speedup > 1.0
+    with capsys.disabled():
+        print("\n" + result.to_text())

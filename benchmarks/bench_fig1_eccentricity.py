@@ -1,0 +1,51 @@
+"""E3: Fig. 1 -- eccentricity distribution of C = A (x) A.
+
+Times the two sides the figure compares: the expensive direct eccentricity
+computation on the materialized product versus the Cor. 4 ground-truth
+composition from the factor (plus histogram composition, which never forms
+the n_C vector at all).  Prints the regenerated histogram table.
+"""
+
+import numpy as np
+
+from repro.analytics.eccentricity import exact_eccentricities
+from repro.experiments.fig1_eccentricity import run_fig1
+from repro.groundtruth.eccentricity import (
+    eccentricity_histogram_product,
+    eccentricity_product_all,
+)
+from repro.kronecker import kron_product
+
+
+def test_bench_direct_eccentricity_on_product(benchmark, bench_gnutella):
+    """The 'algorithms from [3]' side: exact eccentricity on materialized C."""
+    a = bench_gnutella
+    c = kron_product(a, a)
+    result = benchmark.pedantic(exact_eccentricities, args=(c,), rounds=1, iterations=1)
+    assert result.diameter >= exact_eccentricities(a).diameter
+
+
+def test_bench_groundtruth_eccentricity(benchmark, bench_gnutella):
+    """The Cor. 4 side: compose factor eccentricities (sublinear prep)."""
+    a = bench_gnutella
+    ecc_a = exact_eccentricities(a).eccentricities
+    law = benchmark(eccentricity_product_all, ecc_a, ecc_a)
+    assert len(law) == a.n * a.n
+
+
+def test_bench_groundtruth_histogram_only(benchmark, bench_gnutella):
+    """Distribution without the n_C vector: O(e_max^2) composition."""
+    a = bench_gnutella
+    ecc_a = exact_eccentricities(a).eccentricities
+    hist = benchmark(eccentricity_histogram_product, ecc_a, ecc_a)
+    assert sum(hist.values()) == a.n * a.n
+
+
+def test_bench_fig1_pipeline(benchmark, capsys):
+    """Whole Fig. 1 pipeline at reduced scale; prints the histogram table."""
+    result = benchmark.pedantic(
+        run_fig1, kwargs={"factor_n": 80, "nranks": 2}, rounds=1, iterations=1
+    )
+    assert result.law_holds_everywhere
+    with capsys.disabled():
+        print("\n" + result.to_text())

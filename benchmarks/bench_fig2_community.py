@@ -1,0 +1,55 @@
+"""E4: Fig. 2 -- community density scaling under Kronecker products.
+
+Times the Thm. 6 ground-truth path (all 1089 product-community stats from
+33 factor-community stats) against the direct one-pass count on the
+materialized product, and prints the regenerated Section VI-A table.
+"""
+
+from repro.analytics.communities import (
+    labels_from_partition,
+    partition_stats,
+    partition_stats_labeled,
+)
+from repro.experiments.fig2_community import run_fig2
+from repro.graph.datasets import groundtruth_partition
+from repro.groundtruth.community import community_stats_product, kron_partition
+from repro.kronecker import kron_with_full_loops
+
+
+def test_bench_thm6_groundtruth_1089_communities(benchmark, bench_sbm):
+    """Product-community counts from factor stats alone (sublinear path)."""
+    a = bench_sbm
+    parts_a = groundtruth_partition(num_blocks=33, block_size=16)
+    stats_a = partition_stats(a, parts_a)
+
+    def law_all():
+        return [
+            community_stats_product(sa, sb) for sa in stats_a for sb in stats_a
+        ]
+
+    out = benchmark(law_all)
+    assert len(out) == 1089
+
+
+def test_bench_direct_1089_communities(benchmark, bench_sbm):
+    """Direct counting on the materialized product (the cost being avoided)."""
+    a = bench_sbm
+    parts_a = groundtruth_partition(num_blocks=33, block_size=16)
+    c = kron_with_full_loops(a, a)
+    parts_c = kron_partition(parts_a, parts_a, a.n)
+    labels = labels_from_partition(parts_c, c.n)
+    stats = benchmark.pedantic(
+        partition_stats_labeled, args=(c, labels, 1089), rounds=1, iterations=1
+    )
+    assert len(stats) == 1089
+
+
+def test_bench_fig2_pipeline(benchmark, capsys):
+    """Whole Fig. 2 pipeline (materialized verification included)."""
+    result = benchmark.pedantic(
+        run_fig2, kwargs={"block_size": 16}, rounds=1, iterations=1
+    )
+    assert result.thm6_exact_everywhere
+    assert result.cor6_holds and result.cor7_derived_holds
+    with capsys.disabled():
+        print("\n" + result.to_text())

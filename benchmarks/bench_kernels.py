@@ -1,0 +1,83 @@
+"""Kernel microbenchmarks: the hot paths behind every experiment.
+
+Tracks the throughput of the library's innermost vectorized kernels --
+edge-block expansion, edge hashing, BFS, dedup normalization, streaming
+validation -- so regressions in the foundations show up before they distort
+the experiment-level benches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics.bfs import bfs_levels
+from repro.graph import CSRGraph, gnutella_like
+from repro.kronecker.product import iter_kron_product, kron_edge_block
+from repro.util.hashing import edge_uniform
+from repro.validation.streaming import StreamingValidator
+
+
+@pytest.fixture(scope="module")
+def big_factor():
+    return gnutella_like(n=400)
+
+
+def test_bench_kron_edge_block(benchmark, big_factor):
+    """Outer-product expansion rate (the generation kernel)."""
+    a = big_factor.edges[:512]
+    b = big_factor.edges[:512]
+    out = benchmark(kron_edge_block, a, b, big_factor.n)
+    assert len(out) == 512 * 512
+
+
+def test_bench_chunked_stream(benchmark, big_factor):
+    """Chunked streaming overhead vs one-shot expansion."""
+    small = big_factor.induced_subgraph(np.arange(120))
+
+    def stream():
+        total = 0
+        for blk in iter_kron_product(small, small, 1 << 16):
+            total += len(blk)
+        return total
+
+    total = benchmark(stream)
+    assert total == small.m_directed**2
+
+
+def test_bench_edge_hashing(benchmark):
+    """Def. 8 hash throughput on 1M edges."""
+    rng = np.random.default_rng(0)
+    u = rng.integers(0, 10**9, size=1_000_000)
+    v = rng.integers(0, 10**9, size=1_000_000)
+    out = benchmark(edge_uniform, u, v)
+    assert len(out) == 1_000_000
+
+
+def test_bench_bfs(benchmark, big_factor):
+    """Single-source BFS on the scale-free factor."""
+    csr = CSRGraph.from_edgelist(big_factor)
+    levels = benchmark(bfs_levels, csr, 0)
+    assert levels.max() >= 1
+
+
+def test_bench_dedup_normalization(benchmark, big_factor):
+    """Keyed-sort dedup on a ~1M-row product edge array."""
+    from repro.kronecker import kron_product
+
+    sub = big_factor.induced_subgraph(np.arange(150))
+    c = kron_product(sub, sub)
+    el = benchmark(c.deduplicate)
+    assert el.m_directed <= c.m_directed
+
+
+def test_bench_streaming_validation(benchmark, big_factor):
+    """Streaming-validator consumption rate."""
+    small = big_factor.induced_subgraph(np.arange(100))
+    chunks = list(iter_kron_product(small, small, 1 << 15))
+
+    def validate():
+        sv = StreamingValidator(small, small)
+        for blk in chunks:
+            sv.consume(blk)
+        return sv.passed
+
+    assert benchmark(validate)

@@ -1,0 +1,64 @@
+"""E8: Def. 8 -- hash-rejection family generation.
+
+Times joint generation of the paper's threshold family {1, .99, .95, .9}
+(each edge hashed once) against generating the members independently, and
+the hashing kernel itself; prints the statistical audit table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.rejection_family import PAPER_NUS, run_rejection_family
+from repro.kronecker import RejectionFamily, kron_with_full_loops
+from repro.util.hashing import edge_uniform
+
+
+@pytest.fixture(scope="module")
+def product(bench_er_pair):
+    a, b = bench_er_pair
+    return kron_with_full_loops(a, b).without_self_loops()
+
+
+def test_bench_hash_kernel(benchmark, product):
+    """Raw edge-hash throughput (the per-edge cost of Def. 8)."""
+    edges = product.edges
+    out = benchmark(edge_uniform, edges[:, 0], edges[:, 1])
+    assert len(out) == len(edges)
+
+
+def test_bench_joint_family_generation(benchmark, product):
+    """One pass, four subgraphs -- the paper's joint-generation scheme."""
+    fam = RejectionFamily(product, seed=7)
+    subs = benchmark(fam.subgraph_family, list(PAPER_NUS))
+    assert len(subs) == len(PAPER_NUS)
+
+
+def test_bench_independent_generation(benchmark, product):
+    """The comparison point: hash the edge list once per threshold."""
+    fam = RejectionFamily(product, seed=7)
+
+    def independent():
+        return {nu: fam.subgraph(nu) for nu in PAPER_NUS}
+
+    subs = benchmark(independent)
+    assert len(subs) == len(PAPER_NUS)
+
+
+def test_joint_equals_independent(product):
+    fam = RejectionFamily(product, seed=7)
+    joint = fam.subgraph_family(list(PAPER_NUS))
+    for nu in PAPER_NUS:
+        assert joint[nu] == fam.subgraph(nu)
+
+
+def test_bench_statistics_experiment(benchmark, capsys):
+    """Whole E8 audit; prints empirical-vs-expected table."""
+    result = benchmark.pedantic(
+        run_rejection_family,
+        kwargs={"factor_n": 20, "num_seeds": 4},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.monotone
+    with capsys.disabled():
+        print("\n" + result.to_text())

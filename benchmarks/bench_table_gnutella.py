@@ -1,0 +1,41 @@
+"""E2: Section III/V sizes table + SEQUOIA trillion-edge projection.
+
+Times the sublinear counting path (sizes of the product from factor data --
+microseconds regardless of product scale) against materialized generation,
+and prints the regenerated sizes table.
+"""
+
+from repro.experiments.table_gnutella import run_table_gnutella
+from repro.graph.datasets import GNUTELLA_PAPER_STATS, gnutella_like
+from repro.kronecker import kron_product, product_size
+
+
+def test_bench_counting_without_materialization(benchmark, bench_gnutella):
+    """Exact (n_C, |E_C|) from factor stats alone -- the sublinear claim."""
+    a = bench_gnutella
+    n_c, m_c = benchmark(product_size, a, a)
+    assert n_c == a.n * a.n
+    assert m_c == a.m_directed**2
+
+
+def test_bench_materialized_generation(benchmark, bench_gnutella):
+    """The linear-cost comparison point: actually generating the edges."""
+    a = bench_gnutella
+    c = benchmark(kron_product, a, a)
+    assert c.n == a.n * a.n
+
+
+def test_bench_full_table_experiment(benchmark, capsys):
+    """Whole E2 driver, including the SEQUOIA projection."""
+    result = benchmark.pedantic(
+        run_table_gnutella, kwargs={"factor_n": 200}, rounds=1, iterations=1
+    )
+    assert result.materialized_check_ok
+    with capsys.disabled():
+        print("\n" + result.to_text())
+
+
+def test_paper_scale_counts_are_pure_arithmetic():
+    """The paper-scale table entries need no graph at all."""
+    n_a = GNUTELLA_PAPER_STATS["n_A"]
+    assert n_a * n_a == 39_690_000  # paper rounds to "40M"

@@ -1,0 +1,34 @@
+"""E1: regenerate the Section-I scaling-law table (and time its evaluation).
+
+Run with ``pytest benchmarks/bench_table_scaling_laws.py --benchmark-only``.
+The bench asserts every law holds on the factor battery, then reports the
+cost of one full table evaluation; ``-s`` prints the regenerated table.
+"""
+
+import pytest
+
+from repro.experiments.table_scaling_laws import (
+    default_factor_pairs,
+    run_table_scaling_laws,
+)
+from repro.groundtruth import evaluate_scaling_laws
+
+
+def test_bench_full_table_battery(benchmark, capsys):
+    """Evaluate all 12 laws on the 5-pair battery; print the tables."""
+    sweep = benchmark(run_table_scaling_laws)
+    assert sweep.all_hold, sweep.to_text()
+    with capsys.disabled():
+        print("\n" + sweep.to_text())
+
+
+@pytest.mark.parametrize(
+    "pair_idx,name",
+    [(i, name) for i, (name, _a, _b) in enumerate(default_factor_pairs())],
+    ids=lambda v: str(v),
+)
+def test_bench_single_pair(benchmark, pair_idx, name):
+    """Per-pair table evaluation cost."""
+    _name, a, b = default_factor_pairs()[pair_idx]
+    report = benchmark(evaluate_scaling_laws, a, b)
+    assert report.all_hold, report.to_text()

@@ -1,0 +1,81 @@
+"""E7: Section IV -- sublinear triangle ground truth vs direct counting.
+
+Times, on the same product:
+
+* direct global triangle counting (linear-plus in |E_C| -- what a
+  benchmarked algorithm pays),
+* Cor. 1 aggregate ground truth from factor stats (sublinear: flat as the
+  product grows),
+* corrected Cor. 2 per-edge ground truth over all product edges (linear
+  with a tiny constant).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytics.triangles import global_triangles, vertex_triangles
+from repro.experiments.sublinear_triangles import run_sublinear_triangles
+from repro.groundtruth.triangles import (
+    edge_triangles_full_loops,
+    factor_triangle_stats,
+    global_triangles_full_loops,
+    vertex_triangles_full_loops,
+)
+from repro.kronecker import kron_with_full_loops
+
+
+@pytest.fixture(scope="module")
+def product_setup(bench_er_pair):
+    a, b = bench_er_pair
+    c = kron_with_full_loops(a, b)
+    sa, sb = factor_triangle_stats(a), factor_triangle_stats(b)
+    return a, b, c, sa, sb
+
+
+def test_bench_direct_global_count(benchmark, product_setup):
+    a, b, c, sa, sb = product_setup
+    tau = benchmark.pedantic(global_triangles, args=(c,), rounds=2, iterations=1)
+    assert tau == global_triangles_full_loops(sa, sb)
+
+
+def test_bench_groundtruth_global_count(benchmark, product_setup):
+    """Constant-size arithmetic once factor stats exist."""
+    a, b, c, sa, sb = product_setup
+    tau = benchmark(global_triangles_full_loops, sa, sb)
+    assert tau > 0
+
+
+def test_bench_factor_stats_prep(benchmark, product_setup):
+    """The O(|E_C|^{1/2})-sized preprocessing the formulas amortize."""
+    a, b, c, sa, sb = product_setup
+    out = benchmark(factor_triangle_stats, a)
+    assert np.array_equal(out.vertex_tri, sa.vertex_tri)
+
+
+def test_bench_groundtruth_vertex_counts(benchmark, product_setup):
+    a, b, c, sa, sb = product_setup
+    t = benchmark(vertex_triangles_full_loops, sa, sb)
+    assert np.array_equal(t, vertex_triangles(c))
+
+
+def test_bench_groundtruth_edge_counts(benchmark, product_setup):
+    """Linear-time local ground truth at every product edge."""
+    a, b, c, sa, sb = product_setup
+    edges = c.without_self_loops().edges
+    out = benchmark.pedantic(
+        edge_triangles_full_loops, args=(sa, sb, edges), rounds=2, iterations=1
+    )
+    assert len(out) == len(edges)
+
+
+def test_bench_sweep_experiment(benchmark, capsys):
+    """Whole E7 sweep; prints the speedup table."""
+    result = benchmark.pedantic(
+        run_sublinear_triangles,
+        kwargs={"factor_sizes": (20, 40, 80)},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.points[-1].global_speedup > 10
+    with capsys.disabled():
+        print("\n" + result.to_text())

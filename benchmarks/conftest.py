@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures: factor graphs reused across bench files."""
+
+import pytest
+
+from repro.graph import erdos_renyi, gnutella_like, groundtruth_like
+
+
+@pytest.fixture(scope="session")
+def bench_gnutella():
+    """Mid-size scale-free factor with full loops (Fig. 1 stand-in)."""
+    return gnutella_like(n=120)
+
+
+@pytest.fixture(scope="session")
+def bench_sbm():
+    """SBM factor with 33 blocks (Fig. 2 stand-in, loop-free)."""
+    return groundtruth_like(num_blocks=33, block_size=16)
+
+
+@pytest.fixture(scope="session")
+def bench_er_pair():
+    """Connected ER factor pair for generic product benches."""
+    return (
+        erdos_renyi(40, 0.25, seed=1001),
+        erdos_renyi(40, 0.25, seed=1002),
+    )

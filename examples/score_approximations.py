@@ -1,0 +1,76 @@
+"""Scoring approximation algorithms against Kronecker ground truth.
+
+The paper's core motivation: "when new algorithms allow solving problems
+larger than previously possible, all validation must occur at a much
+smaller scale... A proposed solution is to use nonstochastic Kronecker
+graphs as validation tools."  Here we run three approximation algorithms
+(refs [2]/[4]-style) on a Kronecker product and score them against the
+*exact* formula ground truth -- no trusted direct run needed:
+
+* sampled closeness centrality vs Thm. 4;
+* pivot eccentricity upper bounds vs Cor. 4;
+* two-sweep diameter lower bound vs Cor. 3.
+
+    python examples/score_approximations.py
+"""
+
+import numpy as np
+
+from repro.analytics import (
+    approx_closeness_sampling,
+    approx_eccentricities_pivot,
+    eccentricities,
+    hop_matrix,
+    two_sweep_diameter_bound,
+)
+from repro.graph import gnutella_like
+from repro.groundtruth import (
+    closeness_product_histogram,
+    diameter_product,
+    eccentricity_product_all,
+)
+from repro.kronecker import kron_product
+
+
+def main() -> None:
+    a = gnutella_like(n=100)
+    c = kron_product(a, a)
+    print(f"benchmark product: {c.n} vertices, {c.num_undirected_edges} edges")
+
+    # ---- ground truth from the factor (cheap) -----------------------------
+    ecc_a = eccentricities(a)
+    truth_ecc = eccentricity_product_all(ecc_a, ecc_a)
+    truth_diam = diameter_product(int(ecc_a.max()), int(ecc_a.max()))
+    h_a = hop_matrix(a)
+
+    # ---- pivot eccentricity estimator vs Cor. 4 ---------------------------
+    est_ecc = approx_eccentricities_pivot(c, num_pivots=8, seed=1)
+    slack = est_ecc - truth_ecc
+    assert np.all(slack >= 0), "estimator must be an upper bound"
+    exact_frac = np.mean(slack == 0)
+    print(f"\npivot eccentricity (8 pivots): exact at {exact_frac:.1%} of "
+          f"vertices, mean slack {slack.mean():.3f} hops")
+    print("(the paper's Fig. 1 direct side tolerated +1 error on ~30% of "
+          "vertices; ground truth quantifies this precisely)")
+
+    # ---- two-sweep diameter vs Cor. 3 --------------------------------------
+    lb, _far = two_sweep_diameter_bound(c)
+    print(f"two-sweep diameter bound: {lb} vs true {truth_diam} "
+          f"({'exact' if lb == truth_diam else f'off by {truth_diam - lb}'})")
+
+    # ---- sampled closeness vs Thm. 4 ---------------------------------------
+    rng = np.random.default_rng(2)
+    probes = rng.choice(c.n, size=12, replace=False)
+    est_close = approx_closeness_sampling(c, num_samples=200, seed=3)
+    rel_errs = []
+    for p in probes:
+        i, k = divmod(int(p), a.n)
+        truth = closeness_product_histogram(h_a[i], h_a[k])
+        rel_errs.append(abs(est_close[p] - truth) / truth)
+    print(f"sampled closeness (200 of {c.n} sources): median relative error "
+          f"{np.median(rel_errs):.3f} over {len(probes)} probed vertices")
+    assert np.median(rel_errs) < 0.25
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This environment has no network access and no `wheel` package, so PEP 660
+editable installs (`pip install -e .`) cannot build; `python setup.py
+develop` installs the same editable package through setuptools directly.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""Trusted direct graph algorithms (the validation side of the paper)."""
+
+from repro.analytics.bfs import bfs_levels, bfs_hops, UNREACHABLE
+from repro.analytics.components import (
+    connected_components,
+    num_components,
+    is_connected,
+    is_bipartite,
+)
+from repro.analytics.distances import (
+    hop_matrix,
+    hop_matrix_def9,
+    eccentricities,
+    diameter,
+    closeness_centralities,
+    closeness_from_hops,
+)
+from repro.analytics.eccentricity import (
+    pruned_eccentricities,
+    batched_eccentricities,
+    exact_eccentricities,
+    EccentricityResult,
+)
+from repro.analytics.triangles import (
+    vertex_triangles,
+    edge_triangles,
+    edge_triangles_matrix,
+    global_triangles,
+    triangle_summary,
+)
+from repro.analytics.clustering import (
+    vertex_clustering,
+    edge_clustering,
+    average_clustering,
+)
+from repro.analytics.communities import (
+    CommunityStats,
+    community_stats,
+    partition_stats,
+    is_partition,
+)
+from repro.analytics.degree import degrees, degree_histogram
+from repro.analytics.betweenness import betweenness_centrality
+from repro.analytics.approx import (
+    approx_closeness_sampling,
+    two_sweep_diameter_bound,
+    approx_eccentricities_pivot,
+)
+
+__all__ = [
+    "bfs_levels",
+    "bfs_hops",
+    "UNREACHABLE",
+    "connected_components",
+    "num_components",
+    "is_connected",
+    "is_bipartite",
+    "hop_matrix",
+    "hop_matrix_def9",
+    "eccentricities",
+    "diameter",
+    "closeness_centralities",
+    "closeness_from_hops",
+    "pruned_eccentricities",
+    "batched_eccentricities",
+    "exact_eccentricities",
+    "EccentricityResult",
+    "vertex_triangles",
+    "edge_triangles",
+    "edge_triangles_matrix",
+    "global_triangles",
+    "triangle_summary",
+    "vertex_clustering",
+    "edge_clustering",
+    "average_clustering",
+    "CommunityStats",
+    "community_stats",
+    "partition_stats",
+    "is_partition",
+    "degrees",
+    "degree_histogram",
+    "betweenness_centrality",
+    "approx_closeness_sampling",
+    "two_sweep_diameter_bound",
+    "approx_eccentricities_pivot",
+]

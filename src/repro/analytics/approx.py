@@ -1,0 +1,121 @@
+"""Approximation algorithms for distance metrics (the paper's refs [2], [4]).
+
+The introduction motivates ground truth precisely for algorithms like
+these: "several heuristic and/or approximation techniques exist for
+eccentricity [2] and closeness centrality [4]" whose outputs need
+validation at scales where exact recomputation is infeasible.  We implement
+laptop-scale representatives of both families so the validation workflow --
+run the approximation on the product, score it against the Kronecker
+formulas -- can be demonstrated end to end:
+
+* :func:`approx_closeness_sampling` -- Eppstein-Wang style: average inverse
+  distance to a uniform sample of pivots, scaled to the full vertex count;
+* :func:`two_sweep_diameter_bound` -- the classic double-BFS lower bound;
+* :func:`approx_eccentricities_pivot` -- pivot-based upper estimate
+  ``min_pivot (d(v, p) + ecc(p))``, never below the true value minus the
+  triangle-inequality slack (it is an upper bound).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytics.bfs import UNREACHABLE, bfs_levels
+from repro.errors import AssumptionError
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+
+__all__ = [
+    "approx_closeness_sampling",
+    "two_sweep_diameter_bound",
+    "approx_eccentricities_pivot",
+]
+
+
+def _as_csr(g: EdgeList | CSRGraph) -> CSRGraph:
+    return g if isinstance(g, CSRGraph) else CSRGraph.from_edgelist(g)
+
+
+def approx_closeness_sampling(
+    g: EdgeList | CSRGraph,
+    num_samples: int,
+    seed: int | None = None,
+    *,
+    selfloop_convention: bool = True,
+) -> np.ndarray:
+    """Sampled estimate of the paper's closeness ``sum_j 1/hops(v, j)``.
+
+    Runs BFS from ``num_samples`` uniform pivots and, for every vertex
+    ``v``, scales the partial sum ``sum_{p in S} 1/hops(v, p)`` by
+    ``n / |S|``.  Unbiased for connected graphs; variance shrinks as
+    ``1/|S|``.
+    """
+    csr = _as_csr(g)
+    n = csr.n
+    if n == 0:
+        raise AssumptionError("empty graph")
+    num_samples = min(int(num_samples), n)
+    if num_samples <= 0:
+        raise AssumptionError("need at least one sample")
+    rng = np.random.default_rng(seed)
+    pivots = rng.choice(n, size=num_samples, replace=False)
+    acc = np.zeros(n, dtype=np.float64)
+    for p in pivots:
+        hops = bfs_levels(csr, int(p)).astype(np.float64)
+        if selfloop_convention and csr.has_self_loop(int(p)):
+            hops[p] = 1.0
+        with np.errstate(divide="ignore"):
+            inv = np.where(hops > 0, 1.0 / hops, 0.0)
+        acc += inv
+    return acc * (n / num_samples)
+
+
+def two_sweep_diameter_bound(
+    g: EdgeList | CSRGraph, start: int = 0
+) -> tuple[int, int]:
+    """Double-BFS diameter estimate: ``(lower_bound, eccentricity_of_far)``.
+
+    BFS from ``start`` finds the farthest vertex ``u``; BFS from ``u``
+    yields ``ecc(u)``, a lower bound on the diameter that is exact on trees
+    and empirically tight on small-world graphs.
+    """
+    csr = _as_csr(g)
+    first = bfs_levels(csr, start)
+    if np.any(first == UNREACHABLE):
+        raise AssumptionError("graph must be connected")
+    u = int(np.argmax(first))
+    second = bfs_levels(csr, u)
+    return int(second.max()), u
+
+
+def approx_eccentricities_pivot(
+    g: EdgeList | CSRGraph,
+    num_pivots: int,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Pivot upper bounds on every eccentricity.
+
+    ``ecc(v) <= min_p (d(v, p) + ecc(p))`` for any pivot set; with pivots
+    chosen greedily far apart (first random, then farthest-from-chosen) the
+    bound is tight for most vertices of small-world graphs -- the cheap
+    estimator whose error the paper's ground truth quantifies (Fig. 1's
+    direct side tolerated a +1 band for 30% of vertices).
+    """
+    csr = _as_csr(g)
+    n = csr.n
+    if n == 0:
+        raise AssumptionError("empty graph")
+    num_pivots = max(1, min(int(num_pivots), n))
+    rng = np.random.default_rng(seed)
+    upper = np.full(n, np.iinfo(np.int64).max // 2, dtype=np.int64)
+    mindist = np.full(n, np.iinfo(np.int64).max // 2, dtype=np.int64)
+    pivot = int(rng.integers(n))
+    for _ in range(num_pivots):
+        dist = bfs_levels(csr, pivot)
+        if np.any(dist == UNREACHABLE):
+            raise AssumptionError("graph must be connected")
+        ecc_p = int(dist.max())
+        upper = np.minimum(upper, dist + ecc_p)
+        mindist = np.minimum(mindist, dist)
+        pivot = int(np.argmax(mindist))  # farthest-point next pivot
+    return upper

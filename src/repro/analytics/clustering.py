@@ -1,0 +1,57 @@
+"""Direct clustering coefficients (Def. 7).
+
+* vertex: ``eta(i) = 2 t_i / (d_i (d_i - 1))``
+* edge:   ``xi(i, j) = Delta_ij / (min(d_i, d_j) - 1)``
+
+Degrees exclude self loops (the paper's ``d``).  Vertices of degree < 2 and
+edges whose smaller endpoint degree is < 2 have undefined coefficients; we
+return NaN there, and callers filter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytics.triangles import edge_triangles, vertex_triangles
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+
+__all__ = ["vertex_clustering", "edge_clustering", "average_clustering"]
+
+
+def _degrees(el: EdgeList) -> np.ndarray:
+    return CSRGraph.from_edgelist(el).degrees()
+
+
+def vertex_clustering(el: EdgeList) -> np.ndarray:
+    """Per-vertex clustering coefficients; NaN where ``d_i < 2``."""
+    t = vertex_triangles(el).astype(np.float64)
+    d = _degrees(el).astype(np.float64)
+    out = np.full(el.n, np.nan)
+    ok = d >= 2
+    out[ok] = 2.0 * t[ok] / (d[ok] * (d[ok] - 1.0))
+    return out
+
+
+def edge_clustering(el: EdgeList, edges: np.ndarray | None = None) -> np.ndarray:
+    """Per-edge clustering coefficients; NaN where ``min(d_i, d_j) < 2``.
+
+    Queries the graph's own non-loop rows when ``edges`` is None.
+    """
+    if edges is None:
+        edges = el.without_self_loops().edges
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    delta = edge_triangles(el, edges).astype(np.float64)
+    d = _degrees(el).astype(np.float64)
+    dmin = np.minimum(d[edges[:, 0]], d[edges[:, 1]])
+    out = np.full(len(edges), np.nan)
+    ok = dmin >= 2
+    out[ok] = delta[ok] / (dmin[ok] - 1.0)
+    return out
+
+
+def average_clustering(el: EdgeList) -> float:
+    """Mean vertex clustering over vertices where it is defined."""
+    eta = vertex_clustering(el)
+    vals = eta[~np.isnan(eta)]
+    return float(vals.mean()) if len(vals) else 0.0

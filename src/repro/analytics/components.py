@@ -1,0 +1,87 @@
+"""Connected components via vectorized union-find.
+
+Used for the paper's preprocessing step ("the undirected version of the
+largest connected component") and for sanity checks before distance
+analytics, which assume connectivity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+
+__all__ = ["connected_components", "num_components", "is_connected", "is_bipartite"]
+
+
+def connected_components(el: EdgeList) -> np.ndarray:
+    """Label vertices by connected component (undirected semantics).
+
+    Returns a length-``n`` int64 array of labels in ``0..k-1``; labels are
+    assigned in order of each component's smallest vertex id, so results are
+    deterministic.
+
+    Implementation: union-find with path halving.  The find loop is
+    per-vertex Python but the union pass is driven by the edge arrays, which
+    is fast enough for factor-scale graphs (the only place this runs).
+    """
+    n = el.n
+    parent = np.arange(n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]  # path halving
+            x = parent[x]
+        return x
+
+    for u, v in el.edges:
+        ru, rv = find(int(u)), find(int(v))
+        if ru != rv:
+            # union by smaller-root-wins keeps labels deterministic
+            if ru < rv:
+                parent[rv] = ru
+            else:
+                parent[ru] = rv
+    roots = np.array([find(v) for v in range(n)], dtype=np.int64)
+    # compress root ids to 0..k-1 in order of first appearance (= min id)
+    uniq, labels = np.unique(roots, return_inverse=True)
+    return labels.astype(np.int64)
+
+
+def num_components(el: EdgeList) -> int:
+    """Number of connected components (isolated vertices count)."""
+    if el.n == 0:
+        return 0
+    return int(connected_components(el).max()) + 1
+
+
+def is_connected(el: EdgeList) -> bool:
+    """``True`` iff the graph has exactly one component (and ``n > 0``)."""
+    return num_components(el) == 1
+
+
+def is_bipartite(el: EdgeList) -> bool:
+    """2-colorability test by BFS layering on each component.
+
+    Needed for Weichsel's connectivity law: the Kronecker product of two
+    connected loop-free graphs is connected iff at least one factor is
+    non-bipartite.  A self loop is an odd closed walk, so any loop makes
+    the graph non-bipartite.
+    """
+    if el.num_self_loops:
+        return False
+    from repro.analytics.bfs import UNREACHABLE, bfs_levels
+    from repro.graph.csr import CSRGraph
+
+    csr = CSRGraph.from_edgelist(el)
+    color = np.full(el.n, -1, dtype=np.int64)
+    for start in range(el.n):
+        if color[start] != -1:
+            continue
+        levels = bfs_levels(csr, start)
+        reached = levels != UNREACHABLE
+        color[reached] = levels[reached] % 2
+    # an edge within one color class is an odd cycle witness
+    same = color[el.src] == color[el.dst]
+    nonloop = el.src != el.dst
+    return not bool(np.any(same & nonloop))

@@ -1,0 +1,26 @@
+"""Direct degree statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+
+__all__ = ["degrees", "degree_histogram"]
+
+
+def degrees(el: EdgeList, *, include_loops: bool = False) -> np.ndarray:
+    """Per-vertex degree from a symmetric edge list.
+
+    With ``include_loops=False`` (default) this is the paper's ``d``:
+    a self loop contributes nothing.
+    """
+    csr = CSRGraph.from_edgelist(el)
+    return csr.degrees_total() if include_loops else csr.degrees()
+
+
+def degree_histogram(el: EdgeList) -> np.ndarray:
+    """Counts of vertices per degree value (index = degree)."""
+    d = degrees(el)
+    return np.bincount(d) if len(d) else np.empty(0, dtype=np.int64)

@@ -1,0 +1,256 @@
+"""Bounds-pruned exact vertex eccentricity.
+
+The paper's Fig. 1 computes exact eccentricities of a billion-edge product
+"using algorithms from [3]" (Iwabuchi et al., exact vertex eccentricity on
+massive distributed graphs).  This module implements the sequential core of
+that algorithm family (Takes-Kosters style pruning): run BFS from a few
+well-chosen pivots and use the triangle-inequality bounds
+
+.. math::
+
+    \\max(\\epsilon(v) - d(v, w),\\; d(v, w)) \\le \\epsilon(w)
+    \\le \\epsilon(v) + d(v, w)
+
+to fix most vertices' eccentricities without a BFS of their own.  On
+small-world graphs this resolves all vertices with a handful of BFS runs --
+orders of magnitude below the naive n-BFS cost -- which is what makes the
+Fig. 1 comparison feasible on the materialized product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analytics.bfs import UNREACHABLE, bfs_levels
+from repro.errors import AssumptionError
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+
+__all__ = [
+    "pruned_eccentricities",
+    "batched_eccentricities",
+    "exact_eccentricities",
+    "EccentricityResult",
+]
+
+
+@dataclass(frozen=True)
+class EccentricityResult:
+    """Output of :func:`pruned_eccentricities`.
+
+    Attributes
+    ----------
+    eccentricities:
+        Exact eccentricity per vertex.
+    num_bfs:
+        How many BFS sweeps the pruning needed (the algorithm's cost).
+    """
+
+    eccentricities: np.ndarray
+    num_bfs: int
+
+    @property
+    def diameter(self) -> int:
+        """Graph diameter (max eccentricity)."""
+        return int(self.eccentricities.max())
+
+    @property
+    def radius(self) -> int:
+        """Graph radius (min eccentricity)."""
+        return int(self.eccentricities.min())
+
+
+def pruned_eccentricities(
+    g: EdgeList | CSRGraph, *, max_bfs: int | None = None
+) -> EccentricityResult:
+    """Exact eccentricities of a connected graph with bound pruning.
+
+    Pivot selection alternates between the unresolved vertex with the
+    largest upper bound (sharpens the diameter side) and the one with the
+    smallest lower bound (sharpens the radius side), breaking ties by
+    degree -- the standard Takes-Kosters schedule.
+
+    Parameters
+    ----------
+    g:
+        Connected undirected graph.
+    max_bfs:
+        Optional safety cap; ``None`` allows up to ``n`` sweeps (always
+        enough for termination).
+
+    Raises
+    ------
+    AssumptionError
+        If the graph is empty or disconnected.
+    """
+    csr = g if isinstance(g, CSRGraph) else CSRGraph.from_edgelist(g)
+    n = csr.n
+    if n == 0:
+        raise AssumptionError("eccentricity undefined on the empty graph")
+    if n == 1:
+        # Def. 9 convention: with a self loop hops(0,0)=1, else the max over
+        # an empty positive-hop set is 0.
+        ecc = np.array([1 if csr.has_self_loop(0) else 0], dtype=np.int64)
+        return EccentricityResult(ecc, 0)
+
+    lower = np.zeros(n, dtype=np.int64)
+    upper = np.full(n, np.iinfo(np.int64).max // 2, dtype=np.int64)
+    resolved = np.zeros(n, dtype=bool)
+    ecc = np.zeros(n, dtype=np.int64)
+    degrees = csr.degrees_total()
+
+    budget = n if max_bfs is None else int(max_bfs)
+    num_bfs = 0
+    pick_high = True
+    while not resolved.all():
+        if num_bfs >= budget:
+            raise AssumptionError(
+                f"pruning did not converge within {budget} BFS sweeps"
+            )
+        # ---- pivot selection -----------------------------------------
+        cand = np.nonzero(~resolved)[0]
+        if pick_high:
+            key = upper[cand]
+            best = cand[key == key.max()]
+        else:
+            key = lower[cand]
+            best = cand[key == key.min()]
+        pivot = int(best[np.argmax(degrees[best])])
+        pick_high = not pick_high
+
+        # ---- exact eccentricity of the pivot -------------------------
+        dist = bfs_levels(csr, pivot)
+        if np.any(dist == UNREACHABLE):
+            raise AssumptionError("graph must be connected")
+        e_pivot = int(dist.max())
+        num_bfs += 1
+        ecc[pivot] = e_pivot
+        resolved[pivot] = True
+
+        # ---- propagate triangle-inequality bounds (vectorized) -------
+        lower = np.maximum(lower, np.maximum(e_pivot - dist, dist))
+        upper = np.minimum(upper, e_pivot + dist)
+        done = (~resolved) & (lower == upper)
+        ecc[done] = lower[done]
+        resolved |= done
+
+    return EccentricityResult(ecc, num_bfs)
+
+
+def batched_eccentricities(
+    g: EdgeList | CSRGraph,
+    vertices: np.ndarray | None = None,
+    *,
+    batch: int = 1024,
+) -> np.ndarray:
+    """Exact eccentricities by multi-source level-synchronous BFS.
+
+    Runs BFS from ``batch`` sources simultaneously as one sparse-matrix x
+    dense-matrix product per level -- the k-BFS batching that makes exact
+    eccentricity feasible at scale in the paper's reference [3].  On
+    small-world graphs the level count is tiny, so the whole computation is
+    a handful of CSR matmuls per batch.
+
+    Parameters
+    ----------
+    g:
+        Connected undirected graph.
+    vertices:
+        Subset of source vertices to resolve (all by default).
+    batch:
+        Sources per sweep; memory is ``O(n * batch)`` bytes * 5.
+
+    Returns
+    -------
+    numpy.ndarray
+        int64 eccentricities aligned with ``vertices`` (or ``0..n-1``).
+    """
+    csr = g if isinstance(g, CSRGraph) else CSRGraph.from_edgelist(g)
+    n = csr.n
+    if n == 0:
+        raise AssumptionError("eccentricity undefined on the empty graph")
+    adj = csr.to_scipy_sparse(dtype=np.float32)
+    sources = (
+        np.arange(n, dtype=np.int64)
+        if vertices is None
+        else np.asarray(vertices, dtype=np.int64)
+    )
+    out = np.zeros(len(sources), dtype=np.int64)
+    for start in range(0, len(sources), batch):
+        cols = sources[start : start + batch]
+        width = len(cols)
+        visited = np.zeros((n, width), dtype=bool)
+        visited[cols, np.arange(width)] = True
+        frontier = visited.astype(np.float32)
+        level = 0
+        seen = np.ones(width, dtype=np.int64)
+        while True:
+            level += 1
+            reach = (adj @ frontier) > 0
+            new = reach & ~visited
+            counts = new.sum(axis=0)
+            if not counts.any():
+                level -= 1
+                break
+            visited |= new
+            seen += counts
+            grew = counts > 0
+            out[start : start + width][grew] = level
+            frontier = new.astype(np.float32)
+        if np.any(seen != n):
+            raise AssumptionError("graph must be connected")
+    return out
+
+
+def exact_eccentricities(
+    g: EdgeList | CSRGraph,
+    *,
+    pivot_budget: int = 48,
+    batch: int = 1024,
+) -> EccentricityResult:
+    """Production exact eccentricity: bound pruning + batched cleanup.
+
+    Phase 1 runs up to ``pivot_budget`` adaptive Takes-Kosters pivots (cheap,
+    resolves the extremes of the distribution); phase 2 resolves whatever
+    remains with :func:`batched_eccentricities` (throughput-optimal for the
+    dense middle of the distribution, where triangle-inequality bounds are
+    weakest).  ``num_bfs`` counts phase-1 sweeps plus phase-2 sources.
+    """
+    csr = g if isinstance(g, CSRGraph) else CSRGraph.from_edgelist(g)
+    n = csr.n
+    if n <= 1:
+        return pruned_eccentricities(csr)
+
+    lower = np.zeros(n, dtype=np.int64)
+    upper = np.full(n, np.iinfo(np.int64).max // 2, dtype=np.int64)
+    resolved = np.zeros(n, dtype=bool)
+    ecc = np.zeros(n, dtype=np.int64)
+    degrees = csr.degrees_total()
+    num_bfs = 0
+    pick_high = True
+    while not resolved.all() and num_bfs < pivot_budget:
+        cand = np.nonzero(~resolved)[0]
+        key = upper[cand] if pick_high else -lower[cand]
+        best = cand[key == key.max()]
+        pivot = int(best[np.argmax(degrees[best])])
+        pick_high = not pick_high
+        dist = bfs_levels(csr, pivot)
+        if np.any(dist == UNREACHABLE):
+            raise AssumptionError("graph must be connected")
+        e_pivot = int(dist.max())
+        num_bfs += 1
+        ecc[pivot] = e_pivot
+        resolved[pivot] = True
+        lower = np.maximum(lower, np.maximum(e_pivot - dist, dist))
+        upper = np.minimum(upper, e_pivot + dist)
+        done = (~resolved) & (lower == upper)
+        ecc[done] = lower[done]
+        resolved |= done
+
+    rest = np.nonzero(~resolved)[0]
+    if len(rest):
+        ecc[rest] = batched_eccentricities(csr, rest, batch=batch)
+        num_bfs += len(rest)
+    return EccentricityResult(ecc, num_bfs)

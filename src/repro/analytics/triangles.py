@@ -1,0 +1,109 @@
+"""Direct triangle statistics on a materialized graph.
+
+Computes the paper's Def. 5 / Def. 6 quantities exactly via sparse matrix
+algebra (the linear-algebra formulation the paper itself uses):
+
+* vertex participation  ``t = (1/2) diag((A - A o I)^3)``,
+* edge participation    ``Delta = (A - A o I) o (A - A o I)^2``,
+* global count          ``tau = (1/3) sum_i t_i``.
+
+Self loops are stripped before counting (the definitions do the same), so
+these routines are valid in every self-loop regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.graph.edgelist import EdgeList
+
+__all__ = [
+    "vertex_triangles",
+    "edge_triangles",
+    "edge_triangles_matrix",
+    "global_triangles",
+    "triangle_summary",
+]
+
+
+def _noloop_adjacency(el: EdgeList) -> sparse.csr_matrix:
+    """Boolean adjacency with the diagonal removed (``A - A o I``)."""
+    adj = el.without_self_loops().deduplicate().to_scipy_sparse(dtype=np.float64)
+    return adj
+
+
+def vertex_triangles(el: EdgeList) -> np.ndarray:
+    """Per-vertex undirected triangle counts ``t_i`` (Def. 5).
+
+    Uses ``diag(An^3) = sum over rows of (An @ An) o An`` to avoid forming
+    the full cube: ``(An^2 o An) 1`` row-sums cost one sparse matmul plus
+    one Hadamard product.
+    """
+    an = _noloop_adjacency(el)
+    if an.shape[0] == 0:
+        return np.empty(0, dtype=np.int64)
+    an2 = an @ an
+    paths_through = an2.multiply(an)  # (i, j) -> # common neighbors over edges
+    t2 = np.asarray(paths_through.sum(axis=1)).ravel()
+    t = t2 / 2.0
+    return np.rint(t).astype(np.int64)
+
+
+def edge_triangles_matrix(el: EdgeList) -> sparse.csr_matrix:
+    """The full Def. 6 matrix ``Delta = An o An^2`` as sparse CSR."""
+    an = _noloop_adjacency(el)
+    if an.shape[0] == 0:
+        return sparse.csr_matrix((0, 0))
+    return an.multiply(an @ an).tocsr()
+
+
+def edge_triangles(el: EdgeList, edges: np.ndarray | None = None) -> np.ndarray:
+    """Triangle counts ``Delta_ij`` at the given (or all stored) edges.
+
+    Parameters
+    ----------
+    el:
+        The graph.
+    edges:
+        Optional ``(m, 2)`` array of edges to query; defaults to the
+        graph's own non-loop rows (in stored order).
+
+    Returns
+    -------
+    numpy.ndarray
+        int64 counts aligned with the queried edges.
+    """
+    delta = edge_triangles_matrix(el)
+    if edges is None:
+        edges = el.without_self_loops().edges
+    if len(edges) == 0:
+        return np.empty(0, dtype=np.int64)
+    vals = np.asarray(
+        delta[edges[:, 0], edges[:, 1]]
+    ).ravel()
+    return np.rint(vals).astype(np.int64)
+
+
+def global_triangles(el: EdgeList) -> int:
+    """Total undirected triangle count ``tau = (1/3) sum_i t_i``."""
+    t = vertex_triangles(el)
+    return int(round(t.sum() / 3.0)) if len(t) else 0
+
+
+def triangle_summary(el: EdgeList) -> dict:
+    """One-pass bundle of ``(t, Delta, tau)`` reusing the shared matmul."""
+    an = _noloop_adjacency(el)
+    if an.shape[0] == 0:
+        return {
+            "vertex": np.empty(0, dtype=np.int64),
+            "edge_matrix": sparse.csr_matrix((0, 0)),
+            "global": 0,
+        }
+    delta = an.multiply(an @ an).tocsr()
+    t = np.rint(np.asarray(delta.sum(axis=1)).ravel() / 2.0).astype(np.int64)
+    return {
+        "vertex": t,
+        "edge_matrix": delta,
+        "global": int(round(t.sum() / 3.0)),
+    }

@@ -1,0 +1,210 @@
+"""Command-line interface.
+
+Mirrors the paper's tooling surface: a generator that "reads two factor
+graphs A and B from file and efficiently produces the nonstochastic
+Kronecker graph", plus ground-truth and validation commands::
+
+    repro-kron generate    A.txt B.txt --out shards/ --ranks 8 --scheme 2d
+    repro-kron groundtruth A.txt B.txt            # stats table from factors
+    repro-kron validate    A.txt B.txt            # formula-vs-direct checks
+    repro-kron scaling-table A.txt B.txt          # the Section-I table
+    repro-kron experiments                        # full E1-E8 + ablations
+
+Factor files are detected by extension: ``.txt``/``.tsv``/``.el`` (edge
+list), ``.npz`` (binary), ``.mtx``/``.mm`` (Matrix Market).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import GraphFormatError, ReproError
+from repro.graph.edgelist import EdgeList
+
+__all__ = ["main", "build_parser", "load_factor"]
+
+
+def load_factor(path: str) -> EdgeList:
+    """Load a factor file, dispatching on extension."""
+    p = Path(path)
+    suffix = p.suffix.lower()
+    if suffix in (".txt", ".tsv", ".el", ""):
+        from repro.graph.io import read_text
+
+        return read_text(p)
+    if suffix == ".npz":
+        from repro.graph.io import read_npz
+
+        return read_npz(p)
+    if suffix in (".mtx", ".mm"):
+        from repro.graph.mmio import read_matrix_market
+
+        return read_matrix_market(p)
+    raise GraphFormatError(f"unrecognized factor file extension: {path}")
+
+
+def _prepare(el: EdgeList, args: argparse.Namespace) -> EdgeList:
+    """Apply the standard preprocessing flags."""
+    if getattr(args, "symmetrize", False):
+        el = el.symmetrized()
+    if getattr(args, "self_loops", False):
+        el = el.with_full_self_loops()
+    return el
+
+
+# --------------------------------------------------------------------- #
+# subcommands
+# --------------------------------------------------------------------- #
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Distributed generation to shard files."""
+    from repro.distributed.outofcore import generate_to_directory
+
+    a = _prepare(load_factor(args.factor_a), args)
+    b = _prepare(load_factor(args.factor_b), args)
+    manifest = generate_to_directory(
+        a, b, args.out, args.ranks, scheme=args.scheme,
+        backend=args.backend, chunk_size=args.chunk_size,
+    )
+    print(
+        f"generated {manifest.edges_total} directed edges "
+        f"({manifest.n} vertices) into {len(manifest.shard_paths)} shards "
+        f"under {manifest.directory}"
+    )
+    return 0
+
+
+def cmd_groundtruth(args: argparse.Namespace) -> int:
+    """Print the ground-truth stats of the product from factor data."""
+    from repro.analytics import degrees
+    from repro.groundtruth import (
+        edge_count_full_loops,
+        edge_count_no_loops,
+        factor_triangle_stats,
+        global_triangles_full_loops,
+        global_triangles_no_loops,
+        vertex_count,
+    )
+
+    a = _prepare(load_factor(args.factor_a), args).without_self_loops()
+    b = _prepare(load_factor(args.factor_b), args).without_self_loops()
+    sa, sb = factor_triangle_stats(a), factor_triangle_stats(b)
+    print(f"factors: A({a.n} vertices, {a.num_undirected_edges} edges)  "
+          f"B({b.n} vertices, {b.num_undirected_edges} edges)")
+    print(f"{'quantity':<28}{'A (x) B':>16}{'(A+I) (x) (B+I)':>18}")
+    print(f"{'vertices':<28}{vertex_count(a.n, b.n):>16}{vertex_count(a.n, b.n):>18}")
+    m_plain = edge_count_no_loops(a.num_undirected_edges, b.num_undirected_edges)
+    m_loops = edge_count_full_loops(
+        a.num_undirected_edges, a.n, b.num_undirected_edges, b.n
+    )
+    print(f"{'undirected edges':<28}{m_plain:>16}{m_loops:>18}")
+    tau_plain = global_triangles_no_loops(sa.global_tri, sb.global_tri)
+    tau_loops = global_triangles_full_loops(sa, sb)
+    print(f"{'global triangles':<28}{tau_plain:>16}{tau_loops:>18}")
+    d_a, d_b = degrees(a), degrees(b)
+    if len(d_a) and len(d_b):
+        print(f"{'max degree':<28}{int(d_a.max() * d_b.max()):>16}"
+              f"{int((d_a.max() + 1) * (d_b.max() + 1) - 1):>18}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Run the formula-vs-direct harness; exit 1 on any failure."""
+    from repro.validation import validate_product
+
+    a = _prepare(load_factor(args.factor_a), args).without_self_loops()
+    b = _prepare(load_factor(args.factor_b), args).without_self_loops()
+    checks = args.checks.split(",") if args.checks else None
+    report = validate_product(a, b, checks=checks)
+    print(report.to_text())
+    return 0 if report.passed else 1
+
+
+def cmd_scaling_table(args: argparse.Namespace) -> int:
+    """Evaluate the Section-I scaling-law table on the two factors."""
+    from repro.groundtruth import evaluate_scaling_laws
+
+    a = _prepare(load_factor(args.factor_a), args).without_self_loops()
+    b = _prepare(load_factor(args.factor_b), args).without_self_loops()
+    report = evaluate_scaling_laws(a, b)
+    print(report.to_text())
+    return 0 if report.all_hold else 1
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    """Run the full paper-experiment suite and print the report."""
+    from repro.experiments import render_report, run_all
+
+    print(render_report(run_all(fast=not args.full)))
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------- #
+def _add_factor_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("factor_a", help="factor A file (.txt/.npz/.mtx)")
+    p.add_argument("factor_b", help="factor B file (.txt/.npz/.mtx)")
+    p.add_argument(
+        "--symmetrize", action="store_true",
+        help="symmetrize factors after reading (directed inputs)",
+    )
+    p.add_argument(
+        "--self-loops", action="store_true",
+        help="add a self loop on every factor vertex (the paper's A + I)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-kron",
+        description="Distributed Kronecker graph generation with ground truth",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate A (x) B to shard files")
+    _add_factor_args(g)
+    g.add_argument("--out", required=True, help="output shard directory")
+    g.add_argument("--ranks", type=int, default=4, help="world size")
+    g.add_argument("--scheme", choices=("1d", "2d"), default="2d")
+    g.add_argument("--backend", choices=("inline", "thread", "process"),
+                   default="thread")
+    g.add_argument("--chunk-size", type=int, default=1 << 20)
+    g.set_defaults(func=cmd_generate)
+
+    t = sub.add_parser("groundtruth", help="print product ground truth")
+    _add_factor_args(t)
+    t.set_defaults(func=cmd_groundtruth)
+
+    v = sub.add_parser("validate", help="formula-vs-direct validation")
+    _add_factor_args(v)
+    v.add_argument("--checks", default=None,
+                   help="comma-separated subset of checks")
+    v.set_defaults(func=cmd_validate)
+
+    s = sub.add_parser("scaling-table", help="Section-I scaling-law table")
+    _add_factor_args(s)
+    s.set_defaults(func=cmd_scaling_table)
+
+    e = sub.add_parser("experiments", help="run E1-E8 + ablations")
+    e.add_argument("--full", action="store_true",
+                   help="paper-scale factors (slow)")
+    e.set_defaults(func=cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

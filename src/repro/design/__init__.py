@@ -1,0 +1,25 @@
+"""Benchmark design tools: controlled properties and artifact analysis."""
+
+from repro.design.diameter import (
+    diameter_backbone,
+    design_controlled_diameter,
+    eccentricity_profile_factor,
+)
+from repro.design.artifacts import (
+    attainable_degrees,
+    missing_primes,
+    tie_statistics,
+    distribution_hole_fraction,
+    compare_degree_artifacts,
+)
+
+__all__ = [
+    "diameter_backbone",
+    "design_controlled_diameter",
+    "eccentricity_profile_factor",
+    "attainable_degrees",
+    "missing_primes",
+    "tie_statistics",
+    "distribution_hole_fraction",
+    "compare_degree_artifacts",
+]

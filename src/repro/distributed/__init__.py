@@ -1,0 +1,81 @@
+"""Distributed generation runtime: communicators, partitioning, generators, cost model."""
+
+from repro.distributed.comm import (
+    Communicator,
+    InlineCommunicator,
+    ThreadCommunicator,
+    make_thread_world,
+)
+from repro.distributed.mpcomm import ProcessCommunicator, make_process_pipes
+from repro.distributed.launcher import spmd_run
+from repro.distributed.partition import (
+    partition_edges_1d,
+    partition_edges_2d,
+    grid_shape_2d,
+    owners_by_vertex_block,
+    owners_by_edge_hash,
+)
+from repro.distributed.shuffle import bucket_edges, exchange_edges, shuffle_to_owners
+from repro.distributed.generator import (
+    RankOutput,
+    generate_rank_1d,
+    generate_rank_2d,
+    generate_distributed,
+)
+from repro.distributed.aggregate import (
+    distributed_edge_count,
+    distributed_degree_counts,
+    distributed_degree_histogram,
+    distributed_max_vertex,
+)
+from repro.distributed.outofcore import ShardManifest, generate_to_directory
+from repro.distributed.triangles import (
+    distributed_edge_triangles,
+    distributed_global_triangles,
+    fetch_remote_rows,
+    local_rows_csr,
+)
+from repro.distributed.costmodel import (
+    CostModel,
+    ScalingPoint,
+    strong_scaling_curve,
+    weak_scaling_curve,
+    sequoia_projection,
+)
+
+__all__ = [
+    "Communicator",
+    "InlineCommunicator",
+    "ThreadCommunicator",
+    "make_thread_world",
+    "ProcessCommunicator",
+    "make_process_pipes",
+    "spmd_run",
+    "partition_edges_1d",
+    "partition_edges_2d",
+    "grid_shape_2d",
+    "owners_by_vertex_block",
+    "owners_by_edge_hash",
+    "bucket_edges",
+    "exchange_edges",
+    "shuffle_to_owners",
+    "RankOutput",
+    "generate_rank_1d",
+    "generate_rank_2d",
+    "generate_distributed",
+    "ShardManifest",
+    "generate_to_directory",
+    "distributed_edge_triangles",
+    "distributed_global_triangles",
+    "fetch_remote_rows",
+    "local_rows_csr",
+    "distributed_edge_count",
+    "distributed_degree_counts",
+    "distributed_degree_histogram",
+    "distributed_max_vertex",
+    "CostModel",
+    "ScalingPoint",
+    "strong_scaling_curve",
+    "weak_scaling_curve",
+    "sequoia_projection",
+]

@@ -1,0 +1,226 @@
+"""MPI-style communicators for SPMD graph generation.
+
+The paper's generator is built on an asynchronous message-passing runtime
+(HavoqGT over MPI).  We reproduce the programming model with a
+:class:`Communicator` interface exposing the point-to-point and collective
+operations the generator needs (``send``/``recv``, ``barrier``, ``bcast``,
+``gather``, ``allgather``, ``allreduce``, ``alltoall``) and two in-process
+implementations:
+
+* :class:`InlineCommunicator` -- the trivial single-rank world;
+* :class:`ThreadCommunicator` -- ranks are threads with queue mailboxes,
+  giving real interleaved execution (numpy releases the GIL in the kernels
+  that matter) with zero serialization cost.
+
+A ``multiprocessing`` implementation lives in
+:mod:`repro.distributed.mpcomm`; all three satisfy the same contract, and
+the test suite runs the generator against each.
+
+The collectives follow mpi4py's lowercase-object semantics: Python objects
+in, Python objects out, with numpy arrays passed by reference inside one
+process (callers must not mutate received buffers).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+from repro.errors import CommunicatorError
+
+__all__ = ["Communicator", "InlineCommunicator", "ThreadCommunicator", "make_thread_world"]
+
+#: Default timeout (seconds) after which a blocked recv raises instead of
+#: deadlocking the test suite.
+_RECV_TIMEOUT = 60.0
+
+
+class Communicator(ABC):
+    """Abstract SPMD communicator: one instance per rank."""
+
+    @property
+    @abstractmethod
+    def rank(self) -> int:
+        """This process's rank in ``0..size-1``."""
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Number of ranks in the world."""
+
+    # ---- point-to-point ------------------------------------------------
+    @abstractmethod
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Asynchronous send: enqueue ``obj`` for ``dest`` (never blocks)."""
+
+    @abstractmethod
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive of the next message from ``source`` with ``tag``."""
+
+    # ---- collectives -----------------------------------------------------
+    @abstractmethod
+    def barrier(self) -> None:
+        """Block until all ranks arrive."""
+
+    def _check_dest(self, dest: int) -> None:
+        if not (0 <= dest < self.size):
+            raise CommunicatorError(
+                f"destination rank {dest} out of range for size {self.size}"
+            )
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root``; every rank returns the value."""
+        self._check_dest(root)
+        if self.rank == root:
+            for r in range(self.size):
+                if r != root:
+                    self.send(obj, r, tag=-1)
+            return obj
+        return self.recv(root, tag=-1)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather one object per rank at ``root`` (rank order); others get None."""
+        self._check_dest(root)
+        if self.rank == root:
+            out = [None] * self.size
+            out[root] = obj
+            for r in range(self.size):
+                if r != root:
+                    out[r] = self.recv(r, tag=-2)
+            return out
+        self.send(obj, root, tag=-2)
+        return None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather at rank 0, then broadcast the list to all."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any]) -> Any:
+        """Reduce with binary ``op`` across ranks (rank order), result on all."""
+        values = self.allgather(obj)
+        acc = values[0]
+        for v in values[1:]:
+            acc = op(acc, v)
+        return acc
+
+    def scatter(self, objs: list[Any] | None, root: int = 0) -> Any:
+        """Distribute ``objs[r]`` to rank ``r`` from ``root``."""
+        self._check_dest(root)
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise CommunicatorError(
+                    f"scatter at root needs exactly {self.size} objects"
+                )
+            for r in range(self.size):
+                if r != root:
+                    self.send(objs[r], r, tag=-3)
+            return objs[root]
+        return self.recv(root, tag=-3)
+
+    def alltoall(self, objs: list[Any]) -> list[Any]:
+        """Personalized exchange: rank r sends ``objs[s]`` to rank s.
+
+        Returns the list indexed by source rank.  This is the edge-shuffle
+        primitive: each generator rank routes produced edges to their
+        storage owners in one collective.
+        """
+        if len(objs) != self.size:
+            raise CommunicatorError(
+                f"alltoall needs exactly {self.size} objects, got {len(objs)}"
+            )
+        out: list[Any] = [None] * self.size
+        out[self.rank] = objs[self.rank]
+        for r in range(self.size):
+            if r != self.rank:
+                self.send(objs[r], r, tag=-4)
+        for r in range(self.size):
+            if r != self.rank:
+                out[r] = self.recv(r, tag=-4)
+        return out
+
+
+class InlineCommunicator(Communicator):
+    """The single-rank world: all operations are local no-ops."""
+
+    @property
+    def rank(self) -> int:
+        return 0
+
+    @property
+    def size(self) -> int:
+        return 1
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        raise CommunicatorError("send to self is not supported (size-1 world)")
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        raise CommunicatorError("recv in a size-1 world can never complete")
+
+    def barrier(self) -> None:
+        return None
+
+
+class _ThreadWorld:
+    """Shared state for one thread-backed world: mailboxes + barrier."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        # mailbox[dest][(source, tag)] -> queue of messages
+        self.mailboxes: list[dict[tuple[int, int], queue.Queue]] = [
+            {} for _ in range(size)
+        ]
+        self.locks = [threading.Lock() for _ in range(size)]
+        self.barrier = threading.Barrier(size)
+
+    def box(self, dest: int, source: int, tag: int) -> queue.Queue:
+        with self.locks[dest]:
+            return self.mailboxes[dest].setdefault((source, tag), queue.Queue())
+
+
+class ThreadCommunicator(Communicator):
+    """One rank of a thread-backed world (see :func:`make_thread_world`)."""
+
+    def __init__(self, world: _ThreadWorld, rank: int) -> None:
+        self._world = world
+        self._rank = rank
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._world.size
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._check_dest(dest)
+        if dest == self._rank:
+            raise CommunicatorError("send to self would deadlock recv ordering")
+        self._world.box(dest, self._rank, tag).put(obj)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        self._check_dest(source)
+        if source == self._rank:
+            raise CommunicatorError("recv from self is not supported")
+        try:
+            return self._world.box(self._rank, source, tag).get(
+                timeout=_RECV_TIMEOUT
+            )
+        except queue.Empty as exc:
+            raise CommunicatorError(
+                f"rank {self._rank} timed out receiving from {source} (tag {tag})"
+            ) from exc
+
+    def barrier(self) -> None:
+        self._world.barrier.wait(timeout=_RECV_TIMEOUT)
+
+
+def make_thread_world(size: int) -> list[ThreadCommunicator]:
+    """Create ``size`` communicators sharing one thread world."""
+    if size < 1:
+        raise CommunicatorError(f"world size must be >= 1, got {size}")
+    world = _ThreadWorld(size)
+    return [ThreadCommunicator(world, r) for r in range(size)]

@@ -1,0 +1,140 @@
+"""SPMD launcher: run a rank function across a communicator world.
+
+``spmd_run(fn, nranks)`` executes ``fn(comm, *args)`` once per rank and
+returns the per-rank results in rank order -- the moral equivalent of
+``mpiexec -n R python script.py`` for this library's in-process backends.
+
+Backends
+--------
+``"inline"``:
+    only valid for ``nranks == 1``; runs in the caller's thread.
+``"thread"`` (default):
+    one Python thread per rank over queue mailboxes.
+``"process"``:
+    one forked OS process per rank (``fn`` and its arguments must be
+    picklable).  Unavailable start methods degrade with a clear error.
+
+A rank raising an exception cancels the run and re-raises in the caller
+(with the failing rank identified), rather than deadlocking peers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import traceback
+from typing import Any, Callable
+
+from repro.distributed.comm import InlineCommunicator, make_thread_world
+from repro.distributed.mpcomm import ProcessCommunicator, make_process_pipes
+from repro.errors import CommunicatorError
+
+__all__ = ["spmd_run"]
+
+RankFn = Callable[..., Any]
+
+
+def _run_threads(fn: RankFn, nranks: int, args: tuple) -> list[Any]:
+    comms = make_thread_world(nranks)
+    results: list[Any] = [None] * nranks
+    errors: list[tuple[int, BaseException, str]] = []
+    lock = threading.Lock()
+
+    def worker(r: int) -> None:
+        try:
+            results[r] = fn(comms[r], *args)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            with lock:
+                errors.append((r, exc, traceback.format_exc()))
+
+    threads = [
+        threading.Thread(target=worker, args=(r,), name=f"rank-{r}", daemon=True)
+        for r in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=300.0)
+    if errors:
+        rank, exc, tb = errors[0]
+        raise CommunicatorError(f"rank {rank} failed:\n{tb}") from exc
+    if any(t.is_alive() for t in threads):
+        raise CommunicatorError("SPMD run deadlocked (thread join timed out)")
+    return results
+
+
+def _process_entry(fn, pipes, rank, size, args, result_q):  # pragma: no cover
+    # Runs in the child process; exceptions are shipped back as strings.
+    try:
+        comm = ProcessCommunicator(pipes, rank, size)
+        result_q.put((rank, True, fn(comm, *args)))
+    except BaseException:  # noqa: BLE001
+        result_q.put((rank, False, traceback.format_exc()))
+
+
+def _run_processes(fn: RankFn, nranks: int, args: tuple) -> list[Any]:
+    try:
+        ctx = mp.get_context("fork")
+    except ValueError as exc:  # pragma: no cover - non-posix
+        raise CommunicatorError("process backend requires fork support") from exc
+    pipes = make_process_pipes(nranks, ctx)
+    result_q = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_process_entry,
+            args=(fn, pipes, r, nranks, args, result_q),
+            daemon=True,
+        )
+        for r in range(nranks)
+    ]
+    for p in procs:
+        p.start()
+    results: list[Any] = [None] * nranks
+    failure: str | None = None
+    for _ in range(nranks):
+        rank, ok, payload = result_q.get(timeout=300.0)
+        if ok:
+            results[rank] = payload
+        else:
+            failure = f"rank {rank} failed:\n{payload}"
+            break
+    for p in procs:
+        if failure:
+            p.terminate()
+        p.join(timeout=30.0)
+    if failure:
+        raise CommunicatorError(failure)
+    return results
+
+
+def spmd_run(
+    fn: RankFn,
+    nranks: int,
+    *args: Any,
+    backend: str = "thread",
+) -> list[Any]:
+    """Execute ``fn(comm, *args)`` on every rank; return results in rank order.
+
+    Parameters
+    ----------
+    fn:
+        The rank program.  Receives its :class:`Communicator` first.
+    nranks:
+        World size (>= 1).
+    args:
+        Extra positional arguments passed to every rank (replicated inputs,
+        like the paper's replicated factor ``B``).
+    backend:
+        ``"inline"``, ``"thread"``, or ``"process"``.
+    """
+    if nranks < 1:
+        raise CommunicatorError(f"nranks must be >= 1, got {nranks}")
+    if backend == "inline":
+        if nranks != 1:
+            raise CommunicatorError("inline backend supports only nranks == 1")
+        return [fn(InlineCommunicator(), *args)]
+    if backend == "thread":
+        return _run_threads(fn, nranks, args)
+    if backend == "process":
+        return _run_processes(fn, nranks, args)
+    raise CommunicatorError(f"unknown backend {backend!r}")

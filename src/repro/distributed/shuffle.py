@@ -1,0 +1,83 @@
+"""Edge shuffle: route generated edges to their storage owners.
+
+"If edges are being stored, the processor responsible for generating an edge
+must then send it to the processor responsible for its storage as determined
+by some mapping scheme" (Section III).  The shuffle is deliberately
+independent of how edges were generated -- the modularity the paper calls
+out -- so both the 1-D and 2-D generators reuse it unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed.comm import Communicator
+from repro.distributed.partition import owners_by_edge_hash, owners_by_vertex_block
+
+__all__ = ["bucket_edges", "exchange_edges", "shuffle_to_owners"]
+
+
+def bucket_edges(
+    edges: np.ndarray,
+    nparts: int,
+    *,
+    scheme: str = "source_block",
+    n: int | None = None,
+    seed: int = 0,
+) -> list[np.ndarray]:
+    """Split an edge block into per-owner buckets.
+
+    Schemes
+    -------
+    ``"source_block"``:
+        owner of ``(u, v)`` is the block owner of ``u`` (requires ``n``,
+        the product vertex count).  This is the typical adjacency-storage
+        layout: each rank stores the rows of its vertex range.
+    ``"edge_hash"``:
+        owner is ``hash(u, v) % nparts`` -- load-balanced, direction
+        independent.
+    """
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    if scheme == "source_block":
+        if n is None:
+            raise ValueError("source_block scheme requires the vertex count n")
+        owners = owners_by_vertex_block(edges[:, 0], n, nparts)
+    elif scheme == "edge_hash":
+        owners = owners_by_edge_hash(edges, nparts, seed)
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}")
+    order = np.argsort(owners, kind="stable")
+    sorted_edges = edges[order]
+    counts = np.bincount(owners, minlength=nparts)
+    splits = np.cumsum(counts)[:-1]
+    return np.split(sorted_edges, splits)
+
+
+def exchange_edges(
+    comm: Communicator, outgoing: list[np.ndarray]
+) -> np.ndarray:
+    """All-to-all exchange of per-destination edge buckets.
+
+    ``outgoing[d]`` is the block this rank routes to rank ``d``; returns the
+    vertical stack of everything received (own bucket included).
+    """
+    incoming = comm.alltoall(outgoing)
+    blocks = [blk for blk in incoming if blk is not None and len(blk)]
+    if not blocks:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.vstack(blocks)
+
+
+def shuffle_to_owners(
+    comm: Communicator,
+    edges: np.ndarray,
+    *,
+    scheme: str = "source_block",
+    n: int | None = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Bucket locally generated edges and exchange them in one collective."""
+    outgoing = bucket_edges(
+        edges, comm.size, scheme=scheme, n=n, seed=seed
+    )
+    return exchange_edges(comm, outgoing)

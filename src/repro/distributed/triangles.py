@@ -1,0 +1,160 @@
+"""Distributed triangle counting over block-partitioned edges.
+
+The paper's validation story runs triangle counting (Pearce [23],
+Chiba-Nishizeki [22]) on the generated product and checks it against the
+Kronecker formulas.  This module implements a distributed counter in the
+same communication style so the full generate -> count -> validate loop can
+run inside this library's SPMD runtime:
+
+* edges are stored by **source block** (rank ``r`` owns the adjacency rows
+  of its vertex range -- the layout ``storage="source_block"`` generation
+  produces);
+* counting edge ``(u, v)`` needs ``|N(u) cap N(v)|``; ``N(u)`` is local but
+  ``N(v)`` may live on another rank, so ranks exchange *row requests* and
+  *row payloads* in two all-to-all rounds (the pull pattern of distributed
+  adjacency joins);
+* per-edge intersections are computed locally with sorted-array
+  intersections, then reduced.
+
+The counter is exact on simple undirected graphs (self loops ignored).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed.comm import Communicator
+from repro.distributed.partition import owners_by_vertex_block
+from repro.errors import PartitionError
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+
+__all__ = [
+    "local_rows_csr",
+    "fetch_remote_rows",
+    "distributed_edge_triangles",
+    "distributed_global_triangles",
+]
+
+
+def local_rows_csr(local_edges: np.ndarray, n: int) -> CSRGraph:
+    """CSR over the full vertex space holding only this rank's rows."""
+    el = EdgeList(np.asarray(local_edges, dtype=np.int64).reshape(-1, 2), n)
+    return CSRGraph.from_edgelist(el.without_self_loops())
+
+
+def fetch_remote_rows(
+    comm: Communicator,
+    csr: CSRGraph,
+    wanted: np.ndarray,
+    n: int,
+) -> dict[int, np.ndarray]:
+    """Pull adjacency rows of ``wanted`` vertices from their owners.
+
+    Two collective rounds: (1) send each owner the list of vertex ids this
+    rank needs; (2) owners answer with ``(id, row)`` payloads.  Locally
+    owned ids are answered from ``csr`` without communication.
+
+    Returns a dict ``vertex -> sorted neighbor array`` covering ``wanted``.
+    """
+    wanted = np.unique(np.asarray(wanted, dtype=np.int64))
+    owners = owners_by_vertex_block(wanted, n, comm.size)
+    rows: dict[int, np.ndarray] = {}
+
+    requests: list[np.ndarray] = []
+    for r in range(comm.size):
+        ids = wanted[owners == r]
+        if r == comm.rank:
+            for v in ids:
+                rows[int(v)] = csr.neighbors(int(v))
+            requests.append(np.empty(0, dtype=np.int64))
+        else:
+            requests.append(ids)
+    incoming = comm.alltoall(requests)
+
+    replies: list[list[tuple[int, np.ndarray]]] = []
+    for r, ids in enumerate(incoming):
+        if r == comm.rank or ids is None:
+            replies.append([])
+            continue
+        replies.append([(int(v), csr.neighbors(int(v))) for v in ids])
+    answered = comm.alltoall(replies)
+
+    for payload in answered:
+        for v, row in payload:
+            rows[v] = row
+    return rows
+
+
+def _intersection_sizes(
+    csr: CSRGraph, edges: np.ndarray, remote: dict[int, np.ndarray]
+) -> np.ndarray:
+    """``|N(u) cap N(v)|`` per edge; N(u) local, N(v) from ``remote``."""
+    out = np.empty(len(edges), dtype=np.int64)
+    for idx, (u, v) in enumerate(edges):
+        nu = csr.neighbors(int(u))
+        nv = remote[int(v)]
+        # sorted-array intersection via searchsorted (both rows sorted);
+        # probe the smaller row into the larger one
+        if len(nu) > len(nv):
+            nu, nv = nv, nu
+        if len(nu) == 0 or len(nv) == 0:
+            out[idx] = 0
+            continue
+        pos = np.searchsorted(nv, nu)
+        valid = pos < len(nv)
+        out[idx] = int(np.count_nonzero(nv[pos[valid]] == nu[valid]))
+    return out
+
+
+def distributed_edge_triangles(
+    comm: Communicator, local_edges: np.ndarray, n: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-edge triangle counts for this rank's (source-block) edges.
+
+    Parameters
+    ----------
+    comm:
+        Communicator; every rank must call collectively.
+    local_edges:
+        This rank's directed rows; sources must fall in this rank's block
+        range (checked), matching ``storage="source_block"`` generation.
+    n:
+        Global vertex count.
+
+    Returns
+    -------
+    (edges, counts)
+        The rank's non-loop edges and the triangle count at each --
+        the distributed evaluation of Def. 6's ``Delta``.
+    """
+    edges = np.asarray(local_edges, dtype=np.int64).reshape(-1, 2)
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    if len(edges):
+        owners = owners_by_vertex_block(edges[:, 0], n, comm.size)
+        if np.any(owners != comm.rank):
+            raise PartitionError(
+                "local edges contain rows outside this rank's source block"
+            )
+    csr = local_rows_csr(edges, n)
+    remote = fetch_remote_rows(comm, csr, edges[:, 1] if len(edges) else np.empty(0), n)
+    counts = _intersection_sizes(csr, edges, remote)
+    return edges, counts
+
+
+def distributed_global_triangles(
+    comm: Communicator, local_edges: np.ndarray, n: int
+) -> int:
+    """Exact global triangle count from block-partitioned edges.
+
+    Each triangle is counted once per directed edge it contains (6 times
+    total), so the allreduced per-edge sum divides by 6.
+    """
+    _edges, counts = distributed_edge_triangles(comm, local_edges, n)
+    total = comm.allreduce(int(counts.sum()), lambda a, b: a + b)
+    if total % 6:
+        raise PartitionError(
+            "triangle sum not divisible by 6; edges are not a symmetric "
+            "simple graph partitioned by source block"
+        )
+    return total // 6

@@ -1,0 +1,57 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError` so downstream users can catch library failures with a
+single ``except`` clause while letting programming errors (``TypeError`` from
+misuse of numpy, etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphFormatError",
+    "AssumptionError",
+    "PartitionError",
+    "CommunicatorError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphFormatError(ReproError):
+    """An edge list / adjacency structure is malformed.
+
+    Raised for negative vertex ids, ragged arrays, out-of-range endpoints,
+    or file parse failures.
+    """
+
+
+class AssumptionError(ReproError):
+    """A ground-truth formula's hypothesis is violated.
+
+    The Kronecker formulas in the paper hold only under explicit structural
+    hypotheses (e.g. "both factors have full self loops", "no self loops",
+    "graph is undirected").  Functions in :mod:`repro.groundtruth` verify
+    their hypotheses and raise this error instead of silently returning
+    wrong ground truth.
+    """
+
+
+class PartitionError(ReproError):
+    """An edge/vertex partition request is invalid (e.g. zero parts)."""
+
+
+class CommunicatorError(ReproError):
+    """A collective or point-to-point operation was misused.
+
+    Examples: mismatched collective participation, send to an out-of-range
+    rank, or use of a communicator after shutdown.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was configured inconsistently."""

@@ -1,0 +1,54 @@
+"""Paper experiment drivers (one module per table/figure; see DESIGN.md)."""
+
+from repro.experiments.fig1_eccentricity import Fig1Result, run_fig1
+from repro.experiments.fig2_community import Fig2Result, run_fig2
+from repro.experiments.table_gnutella import GnutellaTableResult, run_table_gnutella
+from repro.experiments.table_scaling_laws import ScalingLawSweep, run_table_scaling_laws
+from repro.experiments.remark1_scaling import Remark1Result, run_remark1
+from repro.experiments.closeness_methods import (
+    ClosenessMethodsResult,
+    run_closeness_methods,
+)
+from repro.experiments.sublinear_triangles import (
+    SublinearTrianglesResult,
+    run_sublinear_triangles,
+)
+from repro.experiments.rejection_family import (
+    RejectionFamilyResult,
+    run_rejection_family,
+)
+from repro.experiments.ablation_exploit import (
+    ExploitAblationResult,
+    run_ablation_exploit,
+)
+from repro.experiments.ablation_artifacts import (
+    ArtifactAblationResult,
+    run_ablation_artifacts,
+)
+from repro.experiments.runner import ExperimentResults, run_all, render_report
+
+__all__ = [
+    "Fig1Result",
+    "run_fig1",
+    "Fig2Result",
+    "run_fig2",
+    "GnutellaTableResult",
+    "run_table_gnutella",
+    "ScalingLawSweep",
+    "run_table_scaling_laws",
+    "Remark1Result",
+    "run_remark1",
+    "ClosenessMethodsResult",
+    "run_closeness_methods",
+    "SublinearTrianglesResult",
+    "run_sublinear_triangles",
+    "RejectionFamilyResult",
+    "run_rejection_family",
+    "ExploitAblationResult",
+    "run_ablation_exploit",
+    "ArtifactAblationResult",
+    "run_ablation_artifacts",
+    "ExperimentResults",
+    "run_all",
+    "render_report",
+]

@@ -1,0 +1,117 @@
+"""Experiment E8: Def. 8 -- hash-rejection subgraph families.
+
+Jointly generates ``G_C, G_{C,.99}, G_{C,.95}, G_{C,.9}`` (the paper's
+example thresholds), then checks the statistical claims:
+
+* edge survival:  ``E[|E_nu|] = nu |E_C|``;
+* vertex triangles:  ``E[t_p(G_nu)] = nu^3 t_p`` -- averaged over hash
+  seeds, since per-seed counts fluctuate;
+* edge triangles:  ``E[Delta_pq(G_nu)] = nu^2 Delta_pq`` for surviving
+  edges;
+* monotonicity: ``nu <= nu'  =>  G_nu subset of G_nu'``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analytics.triangles import global_triangles, vertex_triangles
+from repro.graph.edgelist import EdgeList
+from repro.kronecker.operators import kron_with_full_loops
+from repro.kronecker.rejection import RejectionFamily
+from repro.graph.generators import erdos_renyi
+
+__all__ = ["RejectionPoint", "RejectionFamilyResult", "run_rejection_family"]
+
+#: The threshold family the paper names.
+PAPER_NUS = (1.0, 0.99, 0.95, 0.90)
+
+
+@dataclass(frozen=True)
+class RejectionPoint:
+    """Empirical vs expected statistics at one threshold."""
+
+    nu: float
+    edges_kept: int
+    edges_expected: float
+    tau_mean: float
+    tau_expected: float
+
+    @property
+    def edge_rel_err(self) -> float:
+        """Relative error of the kept-edge count."""
+        return abs(self.edges_kept - self.edges_expected) / max(self.edges_expected, 1.0)
+
+    @property
+    def tau_rel_err(self) -> float:
+        """Relative error of the seed-averaged global triangle count."""
+        return abs(self.tau_mean - self.tau_expected) / max(self.tau_expected, 1.0)
+
+
+@dataclass
+class RejectionFamilyResult:
+    """Family audit for the E8 bench."""
+
+    points: list[RejectionPoint] = field(default_factory=list)
+    monotone: bool = True
+
+    def to_text(self) -> str:
+        """Aligned audit table."""
+        lines = ["  nu    kept edges    expected      tau(mean)   nu^3*tau   relerr"]
+        for p in self.points:
+            lines.append(
+                f"{p.nu:>5.2f} {p.edges_kept:>12} {p.edges_expected:>11.1f} "
+                f"{p.tau_mean:>13.1f} {p.tau_expected:>10.1f} {p.tau_rel_err:>8.3f}"
+            )
+        lines.append(f"nesting G_nu subset G_nu' holds: {self.monotone}")
+        return "\n".join(lines)
+
+
+def run_rejection_family(
+    product: EdgeList | None = None,
+    nus: tuple[float, ...] = PAPER_NUS,
+    *,
+    factor_n: int = 24,
+    num_seeds: int = 8,
+    seed: int = 20190814,
+) -> RejectionFamilyResult:
+    """Run the Def. 8 audit on a Kronecker product (built when omitted)."""
+    if product is None:
+        a = erdos_renyi(factor_n, 0.25, seed=seed)
+        b = erdos_renyi(factor_n, 0.25, seed=seed + 1)
+        product = kron_with_full_loops(a, b).without_self_loops()
+    m_directed = product.m_directed
+    tau_full = global_triangles(product)
+
+    result = RejectionFamilyResult()
+    # per-nu statistics averaged over independent hash seeds
+    for nu in sorted(set(nus), reverse=True):
+        taus = []
+        kept_counts = []
+        for s in range(num_seeds):
+            family = RejectionFamily(product, seed=seed + 1000 + s)
+            sub = family.subgraph(nu)
+            kept_counts.append(sub.m_directed)
+            taus.append(global_triangles(sub))
+        result.points.append(
+            RejectionPoint(
+                nu=nu,
+                edges_kept=int(np.mean(kept_counts)),
+                edges_expected=nu * m_directed,
+                tau_mean=float(np.mean(taus)),
+                tau_expected=nu**3 * tau_full,
+            )
+        )
+
+    # nesting check with a single seed across the whole family
+    family = RejectionFamily(product, seed=seed)
+    subs = family.subgraph_family(list(nus))
+    ordered = sorted(subs.items())
+    for (nu_lo, g_lo), (_nu_hi, g_hi) in zip(ordered, ordered[1:]):
+        lo_set = {tuple(e) for e in g_lo.edges}
+        hi_set = {tuple(e) for e in g_hi.edges}
+        if not lo_set.issubset(hi_set):
+            result.monotone = False
+    return result

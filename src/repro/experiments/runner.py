@@ -1,0 +1,89 @@
+"""Run every experiment and render an EXPERIMENTS-style report.
+
+``run_all()`` executes E1-E8 at laptop scale and returns their result
+objects; ``render_report(results)`` produces the markdown recorded in
+EXPERIMENTS.md.  ``python -m repro.experiments.runner`` prints the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.ablation_artifacts import run_ablation_artifacts
+from repro.experiments.ablation_exploit import run_ablation_exploit
+from repro.experiments.closeness_methods import run_closeness_methods
+from repro.experiments.fig1_eccentricity import run_fig1
+from repro.experiments.fig2_community import run_fig2
+from repro.experiments.rejection_family import run_rejection_family
+from repro.experiments.remark1_scaling import run_remark1
+from repro.experiments.sublinear_triangles import run_sublinear_triangles
+from repro.experiments.table_gnutella import run_table_gnutella
+from repro.experiments.table_scaling_laws import run_table_scaling_laws
+
+__all__ = ["ExperimentResults", "run_all", "render_report"]
+
+
+@dataclass
+class ExperimentResults:
+    """Bundle of all experiment outputs, keyed by DESIGN.md experiment id."""
+
+    e1_scaling_laws: object
+    e2_gnutella_table: object
+    e3_fig1: object
+    e4_fig2: object
+    e5_remark1: object
+    e6_closeness: object
+    e7_triangles: object
+    e8_rejection: object
+    a1_exploit: object
+    a2_artifacts: object
+
+
+def run_all(*, fast: bool = True, seed: int = 20190814) -> ExperimentResults:
+    """Execute every experiment.
+
+    ``fast=True`` uses the scaled-down defaults suited to CI; ``fast=False``
+    grows the factors toward paper scale (minutes of runtime, ~GBs of RAM).
+    """
+    fig1_n = 120 if fast else 400
+    fig2_block = 24 if fast else 120
+    tri_sizes = (20, 40, 80) if fast else (40, 80, 160)
+    closeness_sizes = (60, 120, 240) if fast else (120, 240, 480, 960)
+    return ExperimentResults(
+        e1_scaling_laws=run_table_scaling_laws(seed=seed),
+        e2_gnutella_table=run_table_gnutella(factor_n=400 if fast else 1200, seed=seed),
+        e3_fig1=run_fig1(factor_n=fig1_n, seed=seed),
+        e4_fig2=run_fig2(block_size=fig2_block, seed=seed),
+        e5_remark1=run_remark1(seed=seed),
+        e6_closeness=run_closeness_methods(closeness_sizes, seed=seed),
+        e7_triangles=run_sublinear_triangles(tri_sizes, seed=seed),
+        e8_rejection=run_rejection_family(seed=seed),
+        a1_exploit=run_ablation_exploit(factor_n=20 if fast else 40, seed=seed),
+        a2_artifacts=run_ablation_artifacts(
+            factor_n=80 if fast else 240, seed=seed
+        ),
+    )
+
+
+def render_report(results: ExperimentResults) -> str:
+    """Markdown report with one section per experiment."""
+    sections = [
+        ("E1 - Section I scaling-law table", results.e1_scaling_laws),
+        ("E2 - Section III/V sizes table + SEQUOIA projection", results.e2_gnutella_table),
+        ("E3 - Fig. 1 eccentricity distributions", results.e3_fig1),
+        ("E4 - Fig. 2 community densities + Section VI-A table", results.e4_fig2),
+        ("E5 - Remark 1 scaling (1-D vs 2-D)", results.e5_remark1),
+        ("E6 - Section V-B closeness methods", results.e6_closeness),
+        ("E7 - Section IV sublinear triangle ground truth", results.e7_triangles),
+        ("E8 - Def. 8 rejection families", results.e8_rejection),
+        ("A1 - structure-exploit ablation (Section IV-C)", results.a1_exploit),
+        ("A2 - degree-artifact ablation (Section IV-C)", results.a2_artifacts),
+    ]
+    parts = []
+    for title, obj in sections:
+        parts.append(f"## {title}\n\n```\n{obj.to_text()}\n```")
+    return "\n\n".join(parts)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(render_report(run_all()))

@@ -1,0 +1,121 @@
+"""Experiment E7: Section IV's sublinear ground-truth claim for triangles.
+
+"Global scalar quantities (such as a global triangle count) are computed
+sublinearly, in O(|E_C|^{p/2}) time, and local quantities (such as triangle
+counts at edges) are produced in linear time" -- from
+``O(|E_C|^{1/2})``-sized factor data.
+
+We sweep product sizes and time three things on each:
+
+* direct global triangle counting on the materialized product (the cost a
+  benchmarked algorithm pays),
+* ground-truth global count from factor statistics (Cor. 1 aggregate --
+  should stay flat as the product grows),
+* ground-truth per-edge counts for all product edges (corrected Cor. 2 --
+  should grow linearly in |E_C| with a small constant).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.analytics.triangles import global_triangles
+from repro.graph.edgelist import EdgeList
+from repro.graph.generators import erdos_renyi
+from repro.groundtruth.triangles import (
+    edge_triangles_full_loops,
+    factor_triangle_stats,
+    global_triangles_full_loops,
+)
+from repro.kronecker.operators import kron_with_full_loops
+
+__all__ = ["TrianglePoint", "SublinearTrianglesResult", "run_sublinear_triangles"]
+
+
+@dataclass(frozen=True)
+class TrianglePoint:
+    """One product-size measurement."""
+
+    n_factor: int
+    m_product_directed: int
+    tau: int
+    direct_seconds: float
+    groundtruth_global_seconds: float
+    groundtruth_edges_seconds: float
+
+    @property
+    def global_speedup(self) -> float:
+        """direct / ground-truth-global time ratio."""
+        return self.direct_seconds / max(self.groundtruth_global_seconds, 1e-12)
+
+
+@dataclass
+class SublinearTrianglesResult:
+    """Sweep results for the E7 bench."""
+
+    points: list[TrianglePoint] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """Aligned sweep table."""
+        lines = [
+            " n_A   |E_C|(dir)        tau   direct(s)  gt-global(s)  gt-edges(s)  speedup"
+        ]
+        for p in self.points:
+            lines.append(
+                f"{p.n_factor:>4} {p.m_product_directed:>12} {p.tau:>10} "
+                f"{p.direct_seconds:>10.4f} {p.groundtruth_global_seconds:>13.6f} "
+                f"{p.groundtruth_edges_seconds:>12.4f} {p.global_speedup:>8.1f}"
+            )
+        return "\n".join(lines)
+
+
+def run_sublinear_triangles(
+    factor_sizes: tuple[int, ...] = (20, 40, 80),
+    *,
+    p_edge: float = 0.15,
+    seed: int = 20190814,
+    verify: bool = True,
+) -> SublinearTrianglesResult:
+    """Sweep factor sizes, timing ground truth vs direct triangle counting."""
+    result = SublinearTrianglesResult()
+    for n in factor_sizes:
+        a = erdos_renyi(n, p_edge, seed=seed)
+        b = erdos_renyi(n, p_edge, seed=seed + 1)
+        product = kron_with_full_loops(a, b)
+
+        t0 = time.perf_counter()
+        tau_direct = global_triangles(product)
+        t_direct = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        sa = factor_triangle_stats(a)
+        sb = factor_triangle_stats(b)
+        tau_gt = global_triangles_full_loops(sa, sb)
+        t_gt_global = time.perf_counter() - t0
+
+        edges = product.without_self_loops().edges
+        t0 = time.perf_counter()
+        per_edge = edge_triangles_full_loops(sa, sb, edges)
+        t_gt_edges = time.perf_counter() - t0
+
+        if verify and tau_gt != tau_direct:
+            raise AssertionError(
+                f"ground truth diverged: {tau_gt} vs {tau_direct} at n={n}"
+            )
+        # per-edge sanity: each triangle is seen by 3 undirected edges,
+        # each stored twice -> sum(Delta) = 6 tau
+        if verify and int(per_edge.sum()) != 6 * tau_direct:
+            raise AssertionError("per-edge counts inconsistent with tau")
+
+        result.points.append(
+            TrianglePoint(
+                n_factor=n,
+                m_product_directed=product.m_directed,
+                tau=tau_direct,
+                direct_seconds=t_direct,
+                groundtruth_global_seconds=t_gt_global,
+                groundtruth_edges_seconds=t_gt_edges,
+            )
+        )
+    return result

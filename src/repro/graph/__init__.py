@@ -1,0 +1,51 @@
+"""Graph substrate: edge lists, CSR adjacency, generators, datasets, I/O."""
+
+from repro.graph.edgelist import EdgeList
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    empty_graph,
+    clique,
+    cycle,
+    path,
+    star,
+    grid_2d,
+    disjoint_cliques,
+    erdos_renyi,
+    stochastic_block_model,
+    chung_lu,
+    rmat,
+    directed_cycle,
+    directed_erdos_renyi,
+)
+from repro.graph.datasets import (
+    gnutella_like,
+    groundtruth_like,
+    groundtruth_partition,
+    largest_connected_component,
+)
+from repro.graph import io
+from repro.graph import mmio
+
+__all__ = [
+    "EdgeList",
+    "CSRGraph",
+    "empty_graph",
+    "clique",
+    "cycle",
+    "path",
+    "star",
+    "grid_2d",
+    "disjoint_cliques",
+    "erdos_renyi",
+    "stochastic_block_model",
+    "chung_lu",
+    "rmat",
+    "directed_cycle",
+    "directed_erdos_renyi",
+    "gnutella_like",
+    "groundtruth_like",
+    "groundtruth_partition",
+    "largest_connected_component",
+    "io",
+    "mmio",
+]

@@ -1,0 +1,130 @@
+"""Compressed sparse row adjacency structure.
+
+The trusted reference algorithms in :mod:`repro.analytics` (BFS, triangle
+enumeration, eccentricity pruning) all run over a CSR adjacency with sorted
+neighbor lists: contiguous per-vertex slices keep the memory access pattern
+cache-friendly and let edge-membership queries use binary search.
+
+:class:`CSRGraph` is a *structural* adjacency only -- 0/1 entries -- which is
+exactly the boolean adjacency-matrix semantics used by the paper's formulas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.edgelist import EdgeList
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """Static CSR adjacency over vertices ``0..n-1``.
+
+    Build with :meth:`from_edgelist`; the constructor accepts raw arrays for
+    internal use (arrays are trusted, not copied).
+
+    Attributes
+    ----------
+    n:
+        Vertex count.
+    indptr:
+        ``(n + 1,)`` int64 row-pointer array.
+    indices:
+        Destination ids; each row slice ``indices[indptr[v]:indptr[v+1]]``
+        is sorted ascending and duplicate-free.
+    """
+
+    __slots__ = ("n", "indptr", "indices")
+
+    def __init__(self, n: int, indptr: np.ndarray, indices: np.ndarray) -> None:
+        self.n = int(n)
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        if self.indptr.shape != (self.n + 1,):
+            raise GraphFormatError(
+                f"indptr must have shape ({self.n + 1},), got {self.indptr.shape}"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.indices):
+            raise GraphFormatError("indptr endpoints inconsistent with indices")
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edgelist(cls, el: EdgeList) -> "CSRGraph":
+        """Build a deduplicated, sorted CSR from an edge list.
+
+        The edge list is used as-is: for undirected semantics it must
+        already contain both directions (see :meth:`EdgeList.symmetrized`).
+        """
+        dedup = el.deduplicate()  # also canonically ordered
+        counts = np.bincount(dedup.src, minlength=el.n)
+        indptr = np.zeros(el.n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(el.n, indptr, dedup.dst.copy())
+
+    def to_edgelist(self) -> EdgeList:
+        """Expand back to an (ordered, deduplicated) edge list."""
+        src = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees_total())
+        return EdgeList(np.column_stack([src, self.indices]), self.n)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def nnz(self) -> int:
+        """Number of stored directed edges (loops included)."""
+        return len(self.indices)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor ids of ``v`` (view, do not mutate)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Edge-membership test by binary search in ``u``'s row."""
+        row = self.neighbors(u)
+        pos = np.searchsorted(row, v)
+        return pos < len(row) and row[pos] == v
+
+    def has_self_loop(self, v: int) -> bool:
+        """``True`` iff ``(v, v)`` is stored."""
+        return self.has_edge(v, v)
+
+    def degrees_total(self) -> np.ndarray:
+        """Row lengths: out-degree *including* self loops."""
+        return np.diff(self.indptr)
+
+    def degrees(self) -> np.ndarray:
+        """The paper's ``d``: degree **excluding** self loops.
+
+        Vectorized: subtract the loop indicator from each row length.
+        """
+        deg = self.degrees_total().copy()
+        loops = self.self_loop_mask()
+        deg -= loops.astype(np.int64)
+        return deg
+
+    def self_loop_mask(self) -> np.ndarray:
+        """Boolean per-vertex mask of which vertices carry a self loop."""
+        rows = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees_total())
+        mask = np.zeros(self.n, dtype=bool)
+        mask[rows[self.indices == rows]] = True
+        return mask
+
+    def is_symmetric(self) -> bool:
+        """``True`` iff the adjacency pattern equals its transpose."""
+        return self.to_edgelist().is_symmetric()
+
+    def to_scipy_sparse(self, dtype=np.float64):
+        """View as a ``scipy.sparse.csr_matrix`` of ones."""
+        from scipy import sparse
+
+        data = np.ones(self.nnz, dtype=dtype)
+        return sparse.csr_matrix(
+            (data, self.indices, self.indptr), shape=(self.n, self.n)
+        )
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(n={self.n}, nnz={self.nnz})"

@@ -1,0 +1,109 @@
+"""Matrix Market exchange format for graphs.
+
+The MM ``coordinate`` format is the lingua franca of HPC graph suites
+(GraphChallenge distributes its datasets this way), so factors can be
+pulled straight from those archives.  We support the ``pattern`` field
+(unweighted adjacency) with ``general`` or ``symmetric`` symmetry:
+
+* reading a ``symmetric`` file expands the stored lower triangle into both
+  directions (loops once), yielding this library's symmetric-EdgeList
+  convention;
+* writing detects symmetry and emits the compact ``symmetric`` form when
+  possible.
+
+Numeric ``real``/``integer`` fields are accepted on read (values ignored
+beyond zero/nonzero), since GraphChallenge files often carry weights.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.edgelist import EdgeList
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_HEADER_PREFIX = "%%MatrixMarket"
+
+
+def read_matrix_market(path: str | os.PathLike) -> EdgeList:
+    """Read a Matrix Market coordinate file as an EdgeList (1-based ids)."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        header = fh.readline().strip()
+        if not header.startswith(_HEADER_PREFIX):
+            raise GraphFormatError(f"{path}: missing MatrixMarket header")
+        parts = header.split()
+        if len(parts) < 5:
+            raise GraphFormatError(f"{path}: malformed header {header!r}")
+        _, obj, fmt, field, symmetry = parts[:5]
+        if obj.lower() != "matrix" or fmt.lower() != "coordinate":
+            raise GraphFormatError(
+                f"{path}: only 'matrix coordinate' files are supported"
+            )
+        field = field.lower()
+        symmetry = symmetry.lower()
+        if field not in ("pattern", "real", "integer"):
+            raise GraphFormatError(f"{path}: unsupported field {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise GraphFormatError(f"{path}: unsupported symmetry {symmetry!r}")
+
+        # skip comments, read size line
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        dims = line.split()
+        if len(dims) < 3:
+            raise GraphFormatError(f"{path}: malformed size line {line!r}")
+        rows, cols, nnz = int(dims[0]), int(dims[1]), int(dims[2])
+        if rows != cols:
+            raise GraphFormatError(f"{path}: matrix must be square, got {rows}x{cols}")
+
+        data = np.loadtxt(fh, ndmin=2) if nnz else np.empty((0, 3))
+    if nnz and data.shape[0] != nnz:
+        raise GraphFormatError(
+            f"{path}: size line promises {nnz} entries, file has {data.shape[0]}"
+        )
+    if nnz == 0:
+        return EdgeList(np.empty((0, 2), dtype=np.int64), rows)
+    src = data[:, 0].astype(np.int64) - 1
+    dst = data[:, 1].astype(np.int64) - 1
+    if field != "pattern" and data.shape[1] >= 3:
+        keep = data[:, 2] != 0
+        src, dst = src[keep], dst[keep]
+    edges = np.column_stack([src, dst])
+    el = EdgeList(edges, rows)
+    if symmetry == "symmetric":
+        el = el.symmetrized()
+    return el.deduplicate()
+
+
+def write_matrix_market(
+    el: EdgeList, path: str | os.PathLike, *, comment: str | None = None
+) -> None:
+    """Write an EdgeList as a pattern coordinate file.
+
+    Symmetric edge lists are stored compactly (lower triangle + loops,
+    ``symmetric`` header); anything else is stored ``general``.
+    """
+    path = Path(path)
+    symmetric = el.is_symmetric()
+    if symmetric:
+        keep = el.src >= el.dst  # lower triangle, loops included
+        rows = el.deduplicate().edges
+        rows = rows[rows[:, 0] >= rows[:, 1]]
+        symmetry = "symmetric"
+    else:
+        rows = el.deduplicate().edges
+        symmetry = "general"
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(f"{_HEADER_PREFIX} matrix coordinate pattern {symmetry}\n")
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"% {line}\n")
+        fh.write(f"{el.n} {el.n} {len(rows)}\n")
+        np.savetxt(fh, rows + 1, fmt="%d")

@@ -1,0 +1,128 @@
+"""Kronecker ground truth for closeness centrality (Section V-B, Thm. 4).
+
+For a product vertex ``p = (i, k)`` with full self loops in both factors,
+
+.. math::
+
+    \\zeta_C(p) = \\sum_{j \\in V_A} \\sum_{l \\in V_B}
+        \\frac{1}{\\max\\{hops_A(i, j),\\; hops_B(k, l)\\}},
+
+needing only the two factor hop rows ``hops_A(i, .)`` and ``hops_B(k, .)``:
+``O(n_A + n_B)`` storage.  Two evaluation strategies are provided:
+
+* :func:`closeness_product_naive` -- the direct ``O(n_A n_B)`` double sum
+  (vectorized broadcast);
+* :func:`closeness_product_histogram` -- the paper's factored rewrite
+
+  .. math::
+
+      \\zeta_C(p) = \\sum_{h=1}^{h^*} \\frac{N_p(h)}{h}
+
+  where ``N_p(h)`` counts pairs whose max-hop equals ``h``, computed from
+  per-row hop *histograms* in ``O(n_A + n_B + h^*)`` -- the claimed
+  ``O(r n_A log n_A + r^2 h^*)`` cost for an ``r x r`` subset of vertices
+  (our histogramming replaces the paper's sort, same asymptotics up to the
+  log factor).
+
+Unreachable pairs (hop ``-1``) contribute zero; the convention ``hops(i, i)
+= 1`` means the ``j = i, l = k`` term contributes 1, matching Def. 12 as
+printed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytics.bfs import UNREACHABLE
+
+__all__ = [
+    "closeness_product_naive",
+    "closeness_product_histogram",
+    "closeness_product_subset",
+    "hop_row_histogram",
+]
+
+
+def closeness_product_naive(row_a: np.ndarray, row_b: np.ndarray) -> float:
+    """Direct double-sum evaluation of Thm. 4 from two factor hop rows."""
+    a = np.asarray(row_a, dtype=np.int64)
+    b = np.asarray(row_b, dtype=np.int64)
+    h = np.maximum(a[:, None], b[None, :]).astype(np.float64)
+    bad = (a[:, None] == UNREACHABLE) | (b[None, :] == UNREACHABLE) | (h <= 0)
+    with np.errstate(divide="ignore"):
+        inv = np.where(bad, 0.0, 1.0 / h)
+    return float(inv.sum())
+
+
+def hop_row_histogram(row: np.ndarray, h_star: int) -> np.ndarray:
+    """Counts of hop values ``0..h_star`` in a factor hop row.
+
+    Unreachable entries are dropped.  This is the per-vertex preprocessing
+    whose cost the paper books as the ``r n_A log n_A`` sorting term.
+    """
+    r = np.asarray(row, dtype=np.int64)
+    r = r[r != UNREACHABLE]
+    if np.any(r > h_star):
+        raise ValueError("hop value exceeds h_star")
+    return np.bincount(r, minlength=h_star + 1).astype(np.int64)
+
+
+def closeness_product_histogram(
+    row_a: np.ndarray, row_b: np.ndarray, h_star: int | None = None
+) -> float:
+    """Histogram evaluation of Thm. 4 (the paper's fast method).
+
+    ``N_p(h) = cnt_A(h) * cum_B(h) + cum_A(h - 1) * cnt_B(h)`` counts factor
+    pairs with max-hop exactly ``h``; the hop-0 diagonal cell (possible when
+    a factor row lacks the self-loop convention) contributes nothing since
+    the sum starts at ``h = 1``.
+    """
+    a = np.asarray(row_a, dtype=np.int64)
+    b = np.asarray(row_b, dtype=np.int64)
+    if h_star is None:
+        vals = np.concatenate([a[a != UNREACHABLE], b[b != UNREACHABLE]])
+        if len(vals) == 0:
+            return 0.0
+        h_star = int(vals.max())
+    cnt_a = hop_row_histogram(a, h_star)
+    cnt_b = hop_row_histogram(b, h_star)
+    cum_a = np.cumsum(cnt_a)
+    cum_b = np.cumsum(cnt_b)
+    hs = np.arange(1, h_star + 1, dtype=np.int64)
+    n_h = cnt_a[1:] * cum_b[1:] + cum_a[:-1] * cnt_b[1:]
+    return float(np.sum(n_h / hs))
+
+
+def closeness_product_subset(
+    rows_a: np.ndarray, rows_b: np.ndarray, *, method: str = "histogram"
+) -> np.ndarray:
+    """Closeness for the ``r_a x r_b`` grid of product vertices.
+
+    Parameters
+    ----------
+    rows_a:
+        ``(r_a, n_A)`` hop rows for chosen A-vertices (``hops_A(i, .)``).
+    rows_b:
+        ``(r_b, n_B)`` hop rows for chosen B-vertices.
+    method:
+        ``"histogram"`` (paper's fast method) or ``"naive"``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(r_a, r_b)`` closeness values ``zeta_C((i, k))``.
+    """
+    rows_a = np.atleast_2d(np.asarray(rows_a, dtype=np.int64))
+    rows_b = np.atleast_2d(np.asarray(rows_b, dtype=np.int64))
+    if method not in ("histogram", "naive"):
+        raise ValueError(f"unknown method {method!r}")
+    fn = (
+        closeness_product_histogram
+        if method == "histogram"
+        else closeness_product_naive
+    )
+    out = np.empty((len(rows_a), len(rows_b)), dtype=np.float64)
+    for ai, ra in enumerate(rows_a):
+        for bi, rb in enumerate(rows_b):
+            out[ai, bi] = fn(ra, rb)
+    return out

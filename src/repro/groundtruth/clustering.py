@@ -1,0 +1,114 @@
+"""Clustering-coefficient scaling laws (Section IV-B, Thm. 1 / Thm. 2).
+
+For loop-free factors and ``C = A (x) B``:
+
+* vertex (Thm. 1): ``eta_C(p) = theta_p * eta_A(i) * eta_B(k)`` with
+  ``theta_p = (d_i - 1)(d_k - 1) / (d_i d_k - 1)`` in ``[1/3, 1)`` --
+  a *controlled* law;
+* edge (Thm. 2): ``xi_C(p,q) = phi_pq * xi_A(i,j) * xi_B(k,l)`` with
+  ``phi_pq = (min(d_i,d_j) - 1)(min(d_k,d_l) - 1) / (min(d_i d_k, d_j d_l) - 1)``
+  in ``(0, 1)`` -- a law whose factor is **not** bounded away from zero
+  (negative assortativity drives it down), the paper's point (c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kronecker.indexing import split
+
+__all__ = [
+    "theta_vertex",
+    "phi_edge",
+    "vertex_clustering_product",
+    "edge_clustering_product",
+    "THETA_LOWER_BOUND",
+]
+
+#: Thm. 1's universal lower bound on ``theta_p`` (attained at d_i = d_k = 2).
+THETA_LOWER_BOUND = 1.0 / 3.0
+
+
+def theta_vertex(d_i: np.ndarray, d_k: np.ndarray) -> np.ndarray:
+    """Thm. 1's factor ``theta_p``; NaN where any degree < 2.
+
+    Vectorized over broadcastable degree arrays.
+    """
+    di = np.asarray(d_i, dtype=np.float64)
+    dk = np.asarray(d_k, dtype=np.float64)
+    denom = di * dk - 1.0
+    out = np.where(
+        (di >= 2) & (dk >= 2), (di - 1.0) * (dk - 1.0) / denom, np.nan
+    )
+    return out
+
+
+def phi_edge(
+    d_i: np.ndarray,
+    d_j: np.ndarray,
+    d_k: np.ndarray,
+    d_l: np.ndarray,
+) -> np.ndarray:
+    """Thm. 2's factor ``phi_pq``; NaN where any degree < 2."""
+    di = np.asarray(d_i, dtype=np.float64)
+    dj = np.asarray(d_j, dtype=np.float64)
+    dk = np.asarray(d_k, dtype=np.float64)
+    dl = np.asarray(d_l, dtype=np.float64)
+    num = (np.minimum(di, dj) - 1.0) * (np.minimum(dk, dl) - 1.0)
+    denom = np.minimum(di * dk, dj * dl) - 1.0
+    ok = (di >= 2) & (dj >= 2) & (dk >= 2) & (dl >= 2)
+    return np.where(ok, num / denom, np.nan)
+
+
+def vertex_clustering_product(
+    eta_a: np.ndarray,
+    d_a: np.ndarray,
+    eta_b: np.ndarray,
+    d_b: np.ndarray,
+) -> np.ndarray:
+    """Every product vertex's clustering coefficient via Thm. 1.
+
+    Inputs are the factor clustering and degree vectors; output has length
+    ``n_A n_B`` with NaN wherever the law's hypotheses (``t > 0`` handled by
+    ``eta`` being defined, ``d >= 2``) fail.
+    """
+    eta_a = np.asarray(eta_a, dtype=np.float64)
+    eta_b = np.asarray(eta_b, dtype=np.float64)
+    theta = theta_vertex(
+        np.repeat(np.asarray(d_a), len(d_b)),
+        np.tile(np.asarray(d_b), len(d_a)),
+    )
+    return theta * np.repeat(eta_a, len(eta_b)) * np.tile(eta_b, len(eta_a))
+
+
+def edge_clustering_product(
+    xi_a_lookup,
+    d_a: np.ndarray,
+    xi_b_lookup,
+    d_b: np.ndarray,
+    edges: np.ndarray,
+    n_b: int,
+) -> np.ndarray:
+    """Thm. 2 evaluated at product edges.
+
+    Parameters
+    ----------
+    xi_a_lookup, xi_b_lookup:
+        Callables ``(rows, cols) -> xi values`` for each factor (typically
+        closures over a dense or sparse edge-clustering matrix).
+    d_a, d_b:
+        Factor degree vectors.
+    edges:
+        ``(m, 2)`` product edges; must decompose into non-loop factor edges
+        (Thm. 2's hypothesis), otherwise entries are NaN.
+    n_b:
+        Vertex count of factor B.
+    """
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    i, k = split(edges[:, 0], n_b)
+    j, l = split(edges[:, 1], n_b)
+    phi = phi_edge(
+        np.asarray(d_a)[i], np.asarray(d_a)[j],
+        np.asarray(d_b)[k], np.asarray(d_b)[l],
+    )
+    return phi * xi_a_lookup(i, j) * xi_b_lookup(k, l)

@@ -1,0 +1,52 @@
+"""Connectivity ground truth via Weichsel's theorem (the paper's ref [1]).
+
+Weichsel (1962) characterizes connectivity of the Kronecker (tensor)
+product of connected undirected graphs:
+
+* if at least one factor is **non-bipartite**, ``A (x) B`` is connected;
+* if both factors are bipartite (and loop-free), ``A (x) B`` has exactly
+  **two** connected components.
+
+More generally the component count composes: for connected loop-free
+factors the product has 2 components iff both are bipartite, else 1; with
+a self loop anywhere a factor is non-bipartite, so the full-self-loop
+products used throughout the paper are always connected when their factors
+are.  These predictions, like every other ground truth here, come from
+factor-sized computation only.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.components import is_bipartite, is_connected
+from repro.errors import AssumptionError
+from repro.graph.edgelist import EdgeList
+
+__all__ = [
+    "product_is_connected",
+    "product_num_components",
+]
+
+
+def product_num_components(el_a: EdgeList, el_b: EdgeList) -> int:
+    """Component count of ``A (x) B`` for *connected* factors (Weichsel).
+
+    Raises :class:`AssumptionError` when either factor is disconnected
+    (the general composition then depends on per-component bipartiteness;
+    decompose first).
+    """
+    if el_a.n == 0 or el_b.n == 0:
+        raise AssumptionError("factors must be non-empty")
+    if el_a.n > 1 and not is_connected(el_a):
+        raise AssumptionError("factor A must be connected (decompose first)")
+    if el_b.n > 1 and not is_connected(el_b):
+        raise AssumptionError("factor B must be connected (decompose first)")
+    if el_a.m_directed == 0 or el_b.m_directed == 0:
+        # an edgeless factor wipes out every product edge
+        return el_a.n * el_b.n
+    both_bipartite = is_bipartite(el_a) and is_bipartite(el_b)
+    return 2 if both_bipartite else 1
+
+
+def product_is_connected(el_a: EdgeList, el_b: EdgeList) -> bool:
+    """``True`` iff ``A (x) B`` is connected (Weichsel's criterion)."""
+    return product_num_components(el_a, el_b) == 1

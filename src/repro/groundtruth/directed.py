@@ -1,0 +1,94 @@
+"""Directed-graph ground truth.
+
+The paper's Section V derivations never use symmetry: ``hops_A(i, j) =
+min{h : (A^h)_{ij} > 0}`` and the Kronecker mixed-product identity hold for
+arbitrary square factors, so Thm. 3 / Cor. 3 / Cor. 4 / Thm. 4 apply to
+*directed* factors with full self loops unchanged (with "eccentricity" and
+"closeness" read as their forward/out variants).  Degrees also split into
+out/in laws:
+
+.. math::
+
+    d^{out}_C = d^{out}_A \\otimes d^{out}_B, \\qquad
+    d^{in}_C  = d^{in}_A  \\otimes d^{in}_B,
+
+by row/column sums of the Kronecker product.  (Directed *triangle* laws are
+the subject of the authors' prior work [11] and are intentionally out of
+scope here; this module covers what the present paper's results license.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.edgelist import EdgeList
+
+__all__ = [
+    "out_degrees",
+    "in_degrees",
+    "out_degrees_product",
+    "in_degrees_product",
+    "directed_hop_matrix",
+    "directed_eccentricities",
+]
+
+
+def out_degrees(el: EdgeList, *, include_loops: bool = False) -> np.ndarray:
+    """Out-degree per vertex from a directed edge list."""
+    counts = np.bincount(el.src, minlength=el.n).astype(np.int64)
+    if not include_loops:
+        loops = el.src[el.src == el.dst]
+        counts -= np.bincount(loops, minlength=el.n).astype(np.int64)
+    return counts
+
+
+def in_degrees(el: EdgeList, *, include_loops: bool = False) -> np.ndarray:
+    """In-degree per vertex from a directed edge list."""
+    counts = np.bincount(el.dst, minlength=el.n).astype(np.int64)
+    if not include_loops:
+        loops = el.dst[el.src == el.dst]
+        counts -= np.bincount(loops, minlength=el.n).astype(np.int64)
+    return counts
+
+
+def out_degrees_product(d_a: np.ndarray, d_b: np.ndarray) -> np.ndarray:
+    """``d_out_C = d_out_A (x) d_out_B`` for loop-free directed factors."""
+    return np.kron(np.asarray(d_a, dtype=np.int64), np.asarray(d_b, dtype=np.int64))
+
+
+def in_degrees_product(d_a: np.ndarray, d_b: np.ndarray) -> np.ndarray:
+    """``d_in_C = d_in_A (x) d_in_B`` for loop-free directed factors."""
+    return np.kron(np.asarray(d_a, dtype=np.int64), np.asarray(d_b, dtype=np.int64))
+
+
+def directed_hop_matrix(el: EdgeList, *, selfloop_convention: bool = True) -> np.ndarray:
+    """All-pairs *forward* hop counts of a directed graph (Def. 9).
+
+    Row ``i`` holds ``hops(i, .)``: BFS over out-edges only.  ``-1`` marks
+    unreachable targets.  With the self-loop convention and a loop at ``i``,
+    ``hops(i, i) = 1``.
+    """
+    from repro.analytics.bfs import bfs_hops
+
+    csr = CSRGraph.from_edgelist(el)
+    out = np.empty((el.n, el.n), dtype=np.int64)
+    for v in range(el.n):
+        out[v] = bfs_hops(csr, v, selfloop_convention=selfloop_convention)
+    return out
+
+
+def directed_eccentricities(el: EdgeList) -> np.ndarray:
+    """Forward (out-)eccentricity per vertex of a strongly connected digraph.
+
+    Raises if any vertex cannot reach some other vertex (eccentricity would
+    be infinite).
+    """
+    from repro.errors import AssumptionError
+
+    hops = directed_hop_matrix(el)
+    if np.any(hops == -1):
+        raise AssumptionError(
+            "forward eccentricity undefined: graph is not strongly connected"
+        )
+    return hops.max(axis=1)

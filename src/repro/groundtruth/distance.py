@@ -1,0 +1,94 @@
+"""Kronecker ground truth for hop distance and diameter (Section V).
+
+With full self loops in both factors (``A o I = I``, ``B o I = I``), a path
+in the product can idle in one coordinate while the other advances, so
+(Thm. 3)
+
+.. math::
+
+    hops_C(p, q) = \\max\\{hops_A(i, j),\\; hops_B(k, l)\\}
+
+and hence (Cor. 3) ``diam(C) = max(diam(A), diam(B))``.
+
+With loops only in A and B merely undirected (Thm. 5 / Cor. 5), the max
+composition is exact up to ``+1``:
+
+.. math::
+
+    \\max\\{h_A, h_B\\} \\le hops_C \\le \\max\\{h_A, h_B\\} + 1,
+
+which the paper leverages to *control* product diameter via a designed A.
+Unreachable factor pairs (hop ``-1``) compose to unreachable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytics.bfs import UNREACHABLE
+
+__all__ = [
+    "hops_product",
+    "hops_product_matrix",
+    "diameter_product",
+    "hops_bounds_mixed",
+    "diameter_bounds_mixed",
+]
+
+
+def _compose_max(h_a: np.ndarray, h_b: np.ndarray) -> np.ndarray:
+    """max composition propagating the unreachable sentinel."""
+    out = np.maximum(h_a, h_b)
+    out = np.where((h_a == UNREACHABLE) | (h_b == UNREACHABLE), UNREACHABLE, out)
+    return out
+
+
+def hops_product(h_a: np.ndarray, h_b: np.ndarray) -> np.ndarray:
+    """Thm. 3 applied elementwise to aligned factor hop arrays.
+
+    ``h_a[t] = hops_A(i_t, j_t)`` and ``h_b[t] = hops_B(k_t, l_t)`` must be
+    computed under Def. 9's self-loop convention (``hops(i, i) = 1``).
+    """
+    return _compose_max(
+        np.asarray(h_a, dtype=np.int64), np.asarray(h_b, dtype=np.int64)
+    )
+
+
+def hops_product_matrix(row_a: np.ndarray, row_b: np.ndarray) -> np.ndarray:
+    """All hop counts from one product vertex ``p = (i, k)``.
+
+    Given the factor hop rows ``hops_A(i, .)`` (length ``n_A``) and
+    ``hops_B(k, .)`` (length ``n_B``), returns the length ``n_A n_B`` row
+    ``hops_C(p, .)`` -- the ``O(n_A + n_B)`` storage / ``O(n_A n_B)`` compute
+    mode the closeness section describes.
+    """
+    a = np.asarray(row_a, dtype=np.int64)[:, None]
+    b = np.asarray(row_b, dtype=np.int64)[None, :]
+    return _compose_max(
+        np.broadcast_to(a, (len(row_a), len(row_b))),
+        np.broadcast_to(b, (len(row_a), len(row_b))),
+    ).ravel()
+
+
+def diameter_product(diam_a: int, diam_b: int) -> int:
+    """Cor. 3: ``diam(C) = max(diam(A), diam(B))`` (full loops both factors)."""
+    return max(int(diam_a), int(diam_b))
+
+
+def hops_bounds_mixed(h_a: np.ndarray, h_b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Thm. 5 bounds ``(lower, upper)`` when only A has full loops.
+
+    ``lower = max(h_A, h_B)``, ``upper = lower + 1``; unreachable pairs stay
+    unreachable in both.
+    """
+    lo = _compose_max(
+        np.asarray(h_a, dtype=np.int64), np.asarray(h_b, dtype=np.int64)
+    )
+    hi = np.where(lo == UNREACHABLE, UNREACHABLE, lo + 1)
+    return lo, hi
+
+
+def diameter_bounds_mixed(diam_a: int, diam_b: int) -> tuple[int, int]:
+    """Cor. 5: ``max(dA, dB) <= diam(C) <= max(dA, dB) + 1``."""
+    lo = max(int(diam_a), int(diam_b))
+    return lo, lo + 1

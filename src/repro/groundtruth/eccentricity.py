@@ -1,0 +1,69 @@
+"""Kronecker ground truth for vertex eccentricity (Section V-A, Cor. 4).
+
+With full self loops in both factors,
+
+.. math::
+
+    \\epsilon_C(p) = \\max\\{\\epsilon_A(i),\\; \\epsilon_B(k)\\},
+
+so the full length-``n_C`` eccentricity vector is a max-outer-product of the
+factor vectors, and -- crucially for paper-scale products -- the *histogram*
+of product eccentricities composes from factor histograms in
+``O(e_max^2)``, never touching ``n_C`` values.  That composed histogram is
+exactly the ground-truth series plotted in Fig. 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "eccentricity_product",
+    "eccentricity_product_all",
+    "eccentricity_histogram_product",
+]
+
+
+def eccentricity_product(ecc_a: np.ndarray | int, ecc_b: np.ndarray | int) -> np.ndarray:
+    """Cor. 4 elementwise: ``ecc_C = max(ecc_A(i), ecc_B(k))`` for aligned pairs."""
+    return np.maximum(
+        np.asarray(ecc_a, dtype=np.int64), np.asarray(ecc_b, dtype=np.int64)
+    )
+
+
+def eccentricity_product_all(ecc_a: np.ndarray, ecc_b: np.ndarray) -> np.ndarray:
+    """Eccentricity of every product vertex, ordered by ``p = i * n_B + k``."""
+    a = np.asarray(ecc_a, dtype=np.int64)
+    b = np.asarray(ecc_b, dtype=np.int64)
+    return np.maximum(a[:, None], b[None, :]).ravel()
+
+
+def eccentricity_histogram_product(
+    ecc_a: np.ndarray, ecc_b: np.ndarray
+) -> dict[int, int]:
+    """Exact product eccentricity histogram without forming ``n_C`` values.
+
+    Counting pairs whose max equals ``e``:
+
+    ``count_C(e) = count_A(e) * cum_B(e) + cum_A(e - 1) * count_B(e)``
+
+    where ``cum`` is the cumulative count ``<= e``.  Cost is linear in the
+    factor sizes plus the eccentricity range -- the Fig. 1 ground-truth
+    distribution for a 40M-vertex product from two 6.3K-vertex factors.
+    """
+    a = np.asarray(ecc_a, dtype=np.int64)
+    b = np.asarray(ecc_b, dtype=np.int64)
+    if len(a) == 0 or len(b) == 0:
+        return {}
+    top = int(max(a.max(), b.max()))
+    cnt_a = np.bincount(a, minlength=top + 1).astype(np.int64)
+    cnt_b = np.bincount(b, minlength=top + 1).astype(np.int64)
+    cum_a = np.cumsum(cnt_a)
+    cum_b = np.cumsum(cnt_b)
+    hist: dict[int, int] = {}
+    for e in range(top + 1):
+        below_a = cum_a[e - 1] if e > 0 else 0
+        c = int(cnt_a[e]) * int(cum_b[e]) + int(below_a) * int(cnt_b[e])
+        if c:
+            hist[e] = c
+    return hist

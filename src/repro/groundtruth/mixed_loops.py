@@ -1,0 +1,167 @@
+"""Triangle ground truth with self loops in a single factor ([11]'s regime).
+
+Section IV-A recalls that the authors' prior work derived triangle
+formulas "with self loops on any vertex in a single factor (``D_A != O_A``
+but ``D_B = O_B``)" -- the regime that lets users *locally tune* triangle
+counts by choosing which A-vertices get loops.  We reconstruct those
+formulas from first principles (and verify them against direct counting in
+the tests):
+
+Let ``A' = A + D`` with ``A`` loop-free, ``D`` a 0/1 diagonal (loop mask
+``delta``), and ``B`` loop-free.  Then ``C = A' (x) B`` is loop-free
+(every diagonal entry multiplies a zero of ``B``), and
+
+* **vertices** -- expanding ``diag(A'^3)``:
+
+  .. math::
+
+      t_C(p) = \\big(2 t_i + 2 d_i \\delta_i + d^{loop}_i + \\delta_i\\big)
+               \\, t_k
+
+  where ``d_i`` is the loop-free degree, ``delta_i`` the loop indicator,
+  and ``d^loop_i`` the number of loop-carrying neighbors of ``i``;
+
+* **edges** -- from ``C o C^2 = (A' o A'^2) (x) (B o B^2)``:
+
+  .. math::
+
+      \\Delta_C(p, q) =
+      \\begin{cases}
+          (\\Delta^A_{ij} + \\delta_i + \\delta_j)\\, \\Delta^B_{kl}
+              & i \\ne j,\\ A_{ij} = 1 \\\\
+          (d_i + \\delta_i)\\, \\Delta^B_{kl} \\cdot \\delta_i
+              & i = j.
+      \\end{cases}
+
+The self-loop "tuning knobs" are visible in both: adding a loop at ``i``
+adds ``(2 d_i + d^{loop}-\\text{increments} + 1) t_k`` triangles at the
+product vertices over ``i`` and ``\\delta_i + \\delta_j`` triangles per
+underlying factor-edge pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import AssumptionError
+from repro.graph.edgelist import EdgeList
+from repro.kronecker.indexing import split
+
+__all__ = [
+    "MixedLoopFactorStats",
+    "mixed_loop_factor_stats",
+    "vertex_triangles_mixed_loops",
+    "edge_triangles_mixed_loops",
+    "global_triangles_mixed_loops",
+]
+
+
+@dataclass(frozen=True)
+class MixedLoopFactorStats:
+    """Statistics of a factor ``A' = A + D`` with arbitrary loops."""
+
+    n: int
+    degrees: np.ndarray  # loop-free degree d
+    loop_mask: np.ndarray  # delta (bool)
+    loop_neighbor_count: np.ndarray  # d^loop
+    vertex_tri: np.ndarray  # t of the loop-free part
+    edge_tri: sparse.csr_matrix  # Delta of the loop-free part
+    adjacency: sparse.csr_matrix  # loop-free adjacency
+
+
+def mixed_loop_factor_stats(el: EdgeList) -> MixedLoopFactorStats:
+    """Precompute the per-vertex quantities the mixed-loop formulas need."""
+    from repro.analytics.triangles import triangle_summary
+
+    noloop = el.without_self_loops().deduplicate()
+    adj = noloop.to_scipy_sparse()
+    summary = triangle_summary(noloop)
+    loops = np.zeros(el.n, dtype=bool)
+    loop_rows = el.src[el.src == el.dst]
+    loops[loop_rows] = True
+    # d^loop_i = number of neighbors of i that carry a loop
+    dloop = np.rint(adj @ loops.astype(np.float64)).astype(np.int64)
+    return MixedLoopFactorStats(
+        n=el.n,
+        degrees=np.rint(np.asarray(adj.sum(axis=1)).ravel()).astype(np.int64),
+        loop_mask=loops,
+        loop_neighbor_count=dloop,
+        vertex_tri=summary["vertex"],
+        edge_tri=summary["edge_matrix"],
+        adjacency=adj,
+    )
+
+
+def vertex_triangles_mixed_loops(
+    stats_a: MixedLoopFactorStats, t_b: np.ndarray
+) -> np.ndarray:
+    """Per-vertex triangles of ``A' (x) B`` (B loop-free).
+
+    ``t_C(p) = (2 t_i + 2 d_i delta_i + dloop_i + delta_i) * t_k``.
+    """
+    delta = stats_a.loop_mask.astype(np.int64)
+    diag_a3_half2 = (
+        2 * stats_a.vertex_tri
+        + 2 * stats_a.degrees * delta
+        + stats_a.loop_neighbor_count
+        + delta
+    )
+    t_b = np.asarray(t_b, dtype=np.int64)
+    # t_C = (1/2) diag(A'^3) (x) diag(B^3) = (1/2) diag_a3 (x) 2 t_B
+    return np.kron(diag_a3_half2, t_b)
+
+
+def global_triangles_mixed_loops(
+    stats_a: MixedLoopFactorStats, t_b: np.ndarray
+) -> int:
+    """Global triangle count: ``(1/3) sum_p t_C(p)`` from factor scalars."""
+    total = int(vertex_triangles_mixed_loops(stats_a, t_b).sum())
+    if total % 3:
+        raise AssumptionError("triangle sum not divisible by 3")
+    return total // 3
+
+
+def edge_triangles_mixed_loops(
+    stats_a: MixedLoopFactorStats,
+    delta_b: sparse.spmatrix,
+    edges: np.ndarray,
+    n_b: int,
+) -> np.ndarray:
+    """Per-edge triangles of ``A' (x) B`` at the given product edges.
+
+    Every queried edge must exist in the product (its A-coordinate pair is
+    an edge or a loop of ``A'`` and its B-pair an edge of ``B``).
+    """
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    i, k = split(edges[:, 0], n_b)
+    j, l = split(edges[:, 1], n_b)
+    delta_b = delta_b.tocsr()
+    tri_b = np.rint(np.asarray(delta_b[k, l]).ravel()).astype(np.int64)
+    diag_pair = i == j
+    loop_i = stats_a.loop_mask[i]
+    deg_i = stats_a.degrees[i]
+    out = np.empty(len(edges), dtype=np.int64)
+    # off-diagonal A-pairs: (Delta_A + delta_i + delta_j) * Delta_B
+    off = ~diag_pair
+    if np.any(off):
+        tri_a = np.rint(
+            np.asarray(stats_a.edge_tri[i[off], j[off]]).ravel()
+        ).astype(np.int64)
+        a_edge = np.rint(
+            np.asarray(stats_a.adjacency[i[off], j[off]]).ravel()
+        ).astype(np.int64)
+        if np.any(a_edge == 0):
+            raise AssumptionError("query contains non-edges of A")
+        dd = stats_a.loop_mask[i[off]].astype(np.int64) + stats_a.loop_mask[
+            j[off]
+        ].astype(np.int64)
+        out[off] = (tri_a + dd) * tri_b[off]
+    # diagonal A-pairs (loop rides of A'): (d_i + delta_i) * Delta_B
+    if np.any(diag_pair):
+        if not np.all(loop_i[diag_pair]):
+            raise AssumptionError("diagonal query at a vertex without a loop")
+        out[diag_pair] = (deg_i[diag_pair] + 1) * tri_b[diag_pair]
+    return out

@@ -1,0 +1,161 @@
+"""k-factor generalizations of the ground-truth formulas.
+
+Every law in the paper composes associatively, so iterated products (the
+Graph500 / benchmark-suite construction) keep exact ground truth:
+
+* vertices         ``n_C = prod n_i``
+* edges            ``m_C = 2^{k-1} prod m_i``              (no loops)
+* degrees          ``d_C = d_1 (x) ... (x) d_k``            (no loops)
+* vertex triangles ``t_C = 2^{k-1} t_1 (x) ... (x) t_k``    (no loops)
+* edge triangles   ``Delta_C = Delta_1 (x) ... (x) Delta_k``
+* global triangles ``tau_C = 6^{k-1} prod tau_i``
+* eccentricity     ``eps_C(p) = max_i eps_i(c_i)``           (full loops)
+* diameter         ``max_i diam_i``                          (full loops)
+* closeness        ``zeta_C(p) = sum_h N_p(h)/h`` with
+  ``N_p(h) = prod_i cum_i(h) - prod_i cum_i(h-1)``           (full loops)
+* communities      fold Thm. 6 pairwise over the factor list
+
+Derivations are one-line inductions on the two-factor results (e.g.
+``diag((x)A_i^3) = (x)diag(A_i^3)`` gives the triangle law).  Full-self-loop
+triangle counts at ``(x)(A_i + I)`` follow by folding Cor. 1 pairwise via
+:func:`repro.groundtruth.triangles.factor_triangle_stats` of intermediate
+products -- exposed here as :func:`fold_full_loop_triangle_stats`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from functools import reduce
+
+import numpy as np
+from scipy import sparse
+
+from repro.analytics.bfs import UNREACHABLE
+from repro.analytics.communities import CommunityStats
+from repro.errors import GraphFormatError
+from repro.groundtruth.community import community_stats_product
+from repro.groundtruth.closeness import hop_row_histogram
+
+__all__ = [
+    "vertex_count_many",
+    "edge_count_many_no_loops",
+    "degrees_many_no_loops",
+    "vertex_triangles_many_no_loops",
+    "edge_triangles_many_no_loops",
+    "global_triangles_many_no_loops",
+    "eccentricity_many",
+    "diameter_many",
+    "closeness_many_histogram",
+    "community_stats_many",
+]
+
+
+def _require_nonempty(xs: Sequence, name: str) -> None:
+    if len(xs) == 0:
+        raise GraphFormatError(f"{name} must be non-empty")
+
+
+def vertex_count_many(sizes: Sequence[int]) -> int:
+    """``n_C = prod n_i``."""
+    _require_nonempty(sizes, "sizes")
+    return int(np.prod([int(s) for s in sizes], dtype=object))
+
+
+def edge_count_many_no_loops(edge_counts: Sequence[int]) -> int:
+    """``m_C = 2^{k-1} prod m_i`` for loop-free undirected factors."""
+    _require_nonempty(edge_counts, "edge_counts")
+    k = len(edge_counts)
+    return 2 ** (k - 1) * int(
+        np.prod([int(m) for m in edge_counts], dtype=object)
+    )
+
+
+def degrees_many_no_loops(degree_vectors: Sequence[np.ndarray]) -> np.ndarray:
+    """``d_C = (x) d_i`` for loop-free factors."""
+    _require_nonempty(degree_vectors, "degree_vectors")
+    return reduce(np.kron, [np.asarray(d, dtype=np.int64) for d in degree_vectors])
+
+
+def vertex_triangles_many_no_loops(
+    triangle_vectors: Sequence[np.ndarray],
+) -> np.ndarray:
+    """``t_C = 2^{k-1} (x) t_i`` for loop-free factors."""
+    _require_nonempty(triangle_vectors, "triangle_vectors")
+    k = len(triangle_vectors)
+    out = reduce(
+        np.kron, [np.asarray(t, dtype=np.int64) for t in triangle_vectors]
+    )
+    return 2 ** (k - 1) * out
+
+
+def edge_triangles_many_no_loops(
+    delta_matrices: Sequence[sparse.spmatrix],
+) -> sparse.csr_matrix:
+    """``Delta_C = (x) Delta_i`` for loop-free factors."""
+    _require_nonempty(delta_matrices, "delta_matrices")
+    return reduce(
+        lambda a, b: sparse.kron(a, b, format="csr"), delta_matrices
+    )
+
+
+def global_triangles_many_no_loops(taus: Sequence[int]) -> int:
+    """``tau_C = 6^{k-1} prod tau_i`` for loop-free factors."""
+    _require_nonempty(taus, "taus")
+    k = len(taus)
+    return 6 ** (k - 1) * int(np.prod([int(t) for t in taus], dtype=object))
+
+
+def eccentricity_many(ecc_vectors: Sequence[np.ndarray]) -> np.ndarray:
+    """Eccentricity of every product vertex: elementwise max over the grid.
+
+    Factors must have full self loops (Cor. 4's hypothesis, applied
+    inductively).  Output ordering follows the index convention of
+    :mod:`repro.kronecker.power` (first factor most significant).
+    """
+    _require_nonempty(ecc_vectors, "ecc_vectors")
+    out = np.asarray(ecc_vectors[0], dtype=np.int64)
+    for e in ecc_vectors[1:]:
+        e = np.asarray(e, dtype=np.int64)
+        out = np.maximum(out[:, None], e[None, :]).ravel()
+    return out
+
+
+def diameter_many(diameters: Sequence[int]) -> int:
+    """``diam(C) = max_i diam_i`` (full loops everywhere)."""
+    _require_nonempty(diameters, "diameters")
+    return max(int(d) for d in diameters)
+
+
+def closeness_many_histogram(hop_rows: Sequence[np.ndarray]) -> float:
+    """Thm. 4 for ``k`` factors via cumulative-histogram composition.
+
+    ``hop_rows[i]`` is ``hops_{A_i}(c_i, .)`` for the queried vertex's i-th
+    coordinate (Def. 9 convention).  Pairs-with-max-exactly-``h`` counts
+    compose as a telescoping product of cumulative counts:
+
+    ``N(h) = prod_i cum_i(h) - prod_i cum_i(h - 1)``.
+    """
+    _require_nonempty(hop_rows, "hop_rows")
+    finite = [
+        np.asarray(r, dtype=np.int64)[np.asarray(r, dtype=np.int64) != UNREACHABLE]
+        for r in hop_rows
+    ]
+    if any(len(r) == 0 for r in finite):
+        return 0.0
+    h_star = int(max(r.max() for r in finite))
+    if h_star < 1:
+        return 0.0
+    cums = [
+        np.cumsum(hop_row_histogram(r, h_star)).astype(np.float64)
+        for r in finite
+    ]
+    prod_cum = reduce(np.multiply, cums)  # prod_i cum_i(h) for h = 0..h*
+    n_h = prod_cum[1:] - prod_cum[:-1]  # exactly-h counts for h = 1..h*
+    hs = np.arange(1, h_star + 1, dtype=np.float64)
+    return float(np.sum(n_h / hs))
+
+
+def community_stats_many(stats: Sequence[CommunityStats]) -> CommunityStats:
+    """Thm. 6 folded over ``k`` factors (product graph ``(x)(A_i + I)``)."""
+    _require_nonempty(stats, "stats")
+    return reduce(community_stats_product, stats)

@@ -1,0 +1,317 @@
+"""One-stop evaluation of the paper's Section-I scaling-law table.
+
+Given two loop-free undirected factors (and optionally factor partitions),
+:func:`evaluate_scaling_laws` checks every row of the summary table against
+direct computation on the materialized product:
+
+====================  =============================================  ========
+Quantity              Law                                            Relation
+====================  =============================================  ========
+Vertices              ``n_C = n_A n_B``                              exact
+Edges                 ``m_C = 2 m_A m_B``                            exact
+Degree                ``d_C = d_A (x) d_B``                          exact
+Vertex triangles      ``t_C = 2 t_A (x) t_B``                        exact
+Edge triangles        ``Delta_C = Delta_A (x) Delta_B``              exact
+Global triangles      ``tau_C = 6 tau_A tau_B``                      exact
+Clustering coeff.     ``eta_C(p) >= (1/3) eta_A(i) eta_B(k)``        bound
+Vertex eccentricity   ``eps_C(p) = max(eps_A(i), eps_B(k))``         exact*
+Graph diameter        ``diam(C) = max(diam A, diam B)``              exact*
+# communities         ``|Pi_C| = |Pi_A| |Pi_B|``                     exact*
+Internal density      ``rho_in(C) >= (1/3) rho_in(A) rho_in(B)``     bound*
+External density      ``rho_out(C) <= c(omega) rho_out rho_out``     bound*
+====================  =============================================  ========
+
+Rows marked ``*`` assume full self loops and are evaluated on
+``(A + I) (x) (B + I)`` per their theorems' hypotheses; the others are
+evaluated on the loop-free product ``A (x) B``.  This module powers
+experiment E1 (bench_table_scaling_laws).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analytics import communities as direct_comm
+from repro.analytics import triangles as direct_tri
+from repro.analytics.clustering import vertex_clustering
+from repro.analytics.degree import degrees
+from repro.analytics.distances import diameter as direct_diameter
+from repro.analytics.distances import eccentricities
+from repro.errors import AssumptionError
+from repro.graph.edgelist import EdgeList
+from repro.groundtruth import community as gt_comm
+from repro.groundtruth import degrees as gt_deg
+from repro.groundtruth import triangles as gt_tri
+from repro.groundtruth.clustering import THETA_LOWER_BOUND
+from repro.groundtruth.eccentricity import eccentricity_product_all
+from repro.kronecker.operators import (
+    kron_with_full_loops,
+    require_no_self_loops,
+    require_symmetric,
+)
+from repro.kronecker.product import kron_product
+
+__all__ = ["LawRow", "ScalingLawReport", "evaluate_scaling_laws"]
+
+
+@dataclass(frozen=True)
+class LawRow:
+    """Outcome of checking one table row."""
+
+    name: str
+    relation: str  # "exact" or "bound"
+    law_value: str
+    direct_value: str
+    holds: bool
+
+
+@dataclass
+class ScalingLawReport:
+    """All rows plus convenience accessors; renders as an aligned table."""
+
+    rows: list[LawRow] = field(default_factory=list)
+
+    def add(self, name: str, relation: str, law, direct, holds: bool) -> None:
+        """Append one checked row (values are stringified for display)."""
+        self.rows.append(LawRow(name, relation, str(law), str(direct), bool(holds)))
+
+    @property
+    def all_hold(self) -> bool:
+        """``True`` iff every law in the table held."""
+        return all(r.holds for r in self.rows)
+
+    def failures(self) -> list[LawRow]:
+        """Rows whose law did not hold."""
+        return [r for r in self.rows if not r.holds]
+
+    def to_text(self) -> str:
+        """Aligned plain-text rendering of the table."""
+        headers = ("Quantity", "Relation", "Law", "Direct", "Holds")
+        data = [
+            (r.name, r.relation, r.law_value, r.direct_value, "yes" if r.holds else "NO")
+            for r in self.rows
+        ]
+        widths = [
+            max(len(headers[c]), *(len(d[c]) for d in data)) if data else len(headers[c])
+            for c in range(5)
+        ]
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for d in data:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(d, widths)))
+        return "\n".join(lines)
+
+
+def _bisect_partition(n: int) -> list[np.ndarray]:
+    """Default two-set partition used when the caller supplies none."""
+    half = max(1, n // 2)
+    return [
+        np.arange(half, dtype=np.int64),
+        np.arange(half, n, dtype=np.int64),
+    ]
+
+
+def evaluate_scaling_laws(
+    el_a: EdgeList,
+    el_b: EdgeList,
+    parts_a: list[np.ndarray] | None = None,
+    parts_b: list[np.ndarray] | None = None,
+    *,
+    extended: bool = False,
+) -> ScalingLawReport:
+    """Check all 12 table rows for the given loop-free undirected factors.
+
+    Parameters
+    ----------
+    el_a, el_b:
+        Symmetric, loop-free factors.  Connectivity is required for the
+        distance rows (their direct computation raises otherwise).
+    parts_a, parts_b:
+        Factor partitions for the community rows; a bisection is used when
+        omitted.
+    extended:
+        Append rows beyond the paper's table: Weichsel component count,
+        the top adjacency eigenvalue (``lambda_1(C) = lambda_1(A)
+        lambda_1(B)`` by Perron-Frobenius), and the closed-walk census
+        ``trace(C^h) = trace(A^h) trace(B^h)`` for ``h <= 4``.
+
+    Returns
+    -------
+    ScalingLawReport
+    """
+    require_symmetric(el_a, "A")
+    require_symmetric(el_b, "B")
+    require_no_self_loops(el_a, "A")
+    require_no_self_loops(el_b, "B")
+
+    report = ScalingLawReport()
+    c_plain = kron_product(el_a, el_b)
+    c_loops = kron_with_full_loops(el_a, el_b)
+
+    # --- vertices ------------------------------------------------------
+    n_law = gt_deg.vertex_count(el_a.n, el_b.n)
+    report.add("Vertices", "exact", n_law, c_plain.n, n_law == c_plain.n)
+
+    # --- edges ---------------------------------------------------------
+    m_law = gt_deg.edge_count_no_loops(
+        el_a.num_undirected_edges, el_b.num_undirected_edges
+    )
+    m_direct = c_plain.num_undirected_edges
+    report.add("Edges", "exact", m_law, m_direct, m_law == m_direct)
+
+    # --- degree --------------------------------------------------------
+    d_law = gt_deg.degrees_no_loops(degrees(el_a), degrees(el_b))
+    d_direct = degrees(c_plain)
+    report.add(
+        "Degree",
+        "exact",
+        f"kron len={len(d_law)}",
+        f"direct len={len(d_direct)}",
+        np.array_equal(d_law, d_direct),
+    )
+
+    # --- triangles -----------------------------------------------------
+    t_a = direct_tri.vertex_triangles(el_a)
+    t_b = direct_tri.vertex_triangles(el_b)
+    t_law = gt_tri.vertex_triangles_no_loops(t_a, t_b)
+    t_direct = direct_tri.vertex_triangles(c_plain)
+    report.add(
+        "Vertex triangles",
+        "exact",
+        f"sum={t_law.sum()}",
+        f"sum={t_direct.sum()}",
+        np.array_equal(t_law, t_direct),
+    )
+
+    delta_law = gt_tri.edge_triangles_no_loops(
+        direct_tri.edge_triangles_matrix(el_a),
+        direct_tri.edge_triangles_matrix(el_b),
+    )
+    delta_direct = direct_tri.edge_triangles_matrix(c_plain)
+    delta_match = (delta_law - delta_direct).nnz == 0
+    report.add(
+        "Edge triangles",
+        "exact",
+        f"nnz={delta_law.nnz}",
+        f"nnz={delta_direct.nnz}",
+        delta_match,
+    )
+
+    tau_law = gt_tri.global_triangles_no_loops(
+        direct_tri.global_triangles(el_a), direct_tri.global_triangles(el_b)
+    )
+    tau_direct = direct_tri.global_triangles(c_plain)
+    report.add("Global triangles", "exact", tau_law, tau_direct, tau_law == tau_direct)
+
+    # --- clustering lower bound -----------------------------------------
+    eta_a = vertex_clustering(el_a)
+    eta_b = vertex_clustering(el_b)
+    eta_c = vertex_clustering(c_plain)
+    lower = THETA_LOWER_BOUND * np.repeat(eta_a, el_b.n) * np.tile(eta_b, el_a.n)
+    defined = ~(np.isnan(eta_c) | np.isnan(lower))
+    holds = bool(np.all(eta_c[defined] >= lower[defined] - 1e-12))
+    report.add(
+        "Clustering coeff.",
+        "bound",
+        f"min ratio={np.nanmin(eta_c[defined] / np.maximum(lower[defined], 1e-300)):.3f}"
+        if defined.any()
+        else "n/a",
+        f"{int(defined.sum())} defined",
+        holds,
+    )
+
+    # --- eccentricity / diameter (full-loop product) ---------------------
+    ecc_a = eccentricities(el_a.with_full_self_loops())
+    ecc_b = eccentricities(el_b.with_full_self_loops())
+    ecc_law = eccentricity_product_all(ecc_a, ecc_b)
+    ecc_direct = eccentricities(c_loops)
+    report.add(
+        "Vertex eccentricity",
+        "exact",
+        f"max={ecc_law.max()}",
+        f"max={ecc_direct.max()}",
+        np.array_equal(ecc_law, ecc_direct),
+    )
+    diam_law = max(int(ecc_a.max()), int(ecc_b.max()))
+    diam_direct = direct_diameter(c_loops)
+    report.add("Graph diameter", "exact", diam_law, diam_direct, diam_law == diam_direct)
+
+    # --- communities (full-loop product) ---------------------------------
+    if parts_a is None:
+        parts_a = _bisect_partition(el_a.n)
+    if parts_b is None:
+        parts_b = _bisect_partition(el_b.n)
+    parts_c = gt_comm.kron_partition(parts_a, parts_b, el_b.n)
+    n_comm_law = gt_comm.num_communities_product(len(parts_a), len(parts_b))
+    report.add(
+        "# Communities", "exact", n_comm_law, len(parts_c), n_comm_law == len(parts_c)
+    )
+
+    in_ok = True
+    out_ok = True
+    in_checked = out_checked = 0
+    for sa_ids in parts_a:
+        sa = direct_comm.community_stats(el_a, sa_ids)
+        for sb_ids in parts_b:
+            sb = direct_comm.community_stats(el_b, sb_ids)
+            sc_ids = gt_comm.kron_vertex_set(sa_ids, sb_ids, el_b.n)
+            sc = direct_comm.community_stats(c_loops, sc_ids)
+            if sa.size > 1 and sb.size > 1 and sa.rho_in > 0 and sb.rho_in > 0:
+                in_checked += 1
+                if sc.rho_in < gt_comm.internal_density_lower_bound(sa, sb) - 1e-12:
+                    in_ok = False
+            try:
+                bound = gt_comm.external_density_upper_bound(sa, sb)
+            except AssumptionError:
+                continue
+            out_checked += 1
+            if sc.rho_out > bound + 1e-12:
+                out_ok = False
+    report.add(
+        "Internal density", "bound", f"{in_checked} sets checked", "rho_in >= bound", in_ok
+    )
+    report.add(
+        "External density", "bound", f"{out_checked} sets checked", "rho_out <= bound", out_ok
+    )
+
+    if extended:
+        from repro.analytics.components import num_components
+        from repro.groundtruth.connectivity import product_num_components
+        from repro.groundtruth.spectrum import factor_eigenvalues
+        from repro.groundtruth.walks import (
+            closed_walk_totals,
+            closed_walk_totals_product,
+        )
+
+        comp_law = product_num_components(el_a, el_b)
+        comp_direct = num_components(c_plain)
+        report.add(
+            "# Components (Weichsel)", "exact", comp_law, comp_direct,
+            comp_law == comp_direct,
+        )
+
+        lam1_law = float(
+            factor_eigenvalues(el_a, k=1)[0] * factor_eigenvalues(el_b, k=1)[0]
+        )
+        lam1_direct = float(factor_eigenvalues(c_plain, k=1)[0])
+        report.add(
+            "Top eigenvalue", "exact",
+            f"{lam1_law:.6f}", f"{lam1_direct:.6f}",
+            abs(lam1_law - lam1_direct) < 1e-6 * max(abs(lam1_direct), 1.0),
+        )
+
+        walks_law = closed_walk_totals_product(
+            closed_walk_totals(el_a, 4), closed_walk_totals(el_b, 4)
+        )
+        walks_direct = closed_walk_totals(c_plain, 4)
+        report.add(
+            "Closed walks h<=4", "exact",
+            f"tr(C^4)={walks_law[4]:.0f}", f"tr(C^4)={walks_direct[4]:.0f}",
+            bool(np.allclose(walks_law, walks_direct)),
+        )
+
+    return report

@@ -1,0 +1,96 @@
+"""Self-loop regimes and notation-level helpers.
+
+The paper's theorems each assume a specific self-loop regime:
+
+* ``NO_LOOPS`` -- ``A o I_A = O_A`` (Thm. 1/2, the no-loop triangle laws);
+* ``FULL_LOOPS`` -- ``A o I_A = I_A`` (the distance results of Section V and
+  the ``(A + I) (x) (B + I)`` triangle/community results of Cor. 1/2, Thm. 6).
+
+This module names those regimes, checks them, and provides the composite
+product ``(A + I_A) (x) (B + I_B)`` that most ground-truth formulas are
+stated against, together with exact edge-count accounting for each regime.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import AssumptionError
+from repro.graph.edgelist import EdgeList
+from repro.kronecker.product import kron_product
+
+__all__ = [
+    "SelfLoopRegime",
+    "require_no_self_loops",
+    "require_full_self_loops",
+    "require_symmetric",
+    "kron_with_full_loops",
+    "directed_edge_count_with_loops",
+    "undirected_edge_count_with_loops",
+]
+
+
+class SelfLoopRegime(Enum):
+    """Which self-loop hypothesis a formula assumes."""
+
+    NO_LOOPS = "no_loops"
+    FULL_LOOPS = "full_loops"
+    ANY = "any"
+
+
+def require_no_self_loops(el: EdgeList, name: str = "factor") -> None:
+    """Raise :class:`AssumptionError` unless ``D = O`` (no self loops)."""
+    if not el.has_no_self_loops():
+        raise AssumptionError(
+            f"{name} must have no self loops (A o I = O); found "
+            f"{el.num_self_loops} loop(s)"
+        )
+
+
+def require_full_self_loops(el: EdgeList, name: str = "factor") -> None:
+    """Raise :class:`AssumptionError` unless ``D = I`` (loops everywhere)."""
+    if not el.has_full_self_loops():
+        raise AssumptionError(
+            f"{name} must have a self loop on every vertex (A o I = I)"
+        )
+
+
+def require_symmetric(el: EdgeList, name: str = "factor") -> None:
+    """Raise :class:`AssumptionError` unless the edge list is symmetric."""
+    if not el.is_symmetric():
+        raise AssumptionError(f"{name} must be undirected (symmetric edge list)")
+
+
+def kron_with_full_loops(el_a: EdgeList, el_b: EdgeList) -> EdgeList:
+    """The paper's ``C = (A + I_A) (x) (B + I_B)``.
+
+    Inputs may or may not already carry loops; loops are normalized to
+    "full" on both factors before taking the product.  The result has full
+    self loops by construction (``gamma(i, i)`` diagonal).
+    """
+    return kron_product(el_a.with_full_self_loops(), el_b.with_full_self_loops())
+
+
+def directed_edge_count_with_loops(el: EdgeList) -> int:
+    """Directed row count of ``A + I_A`` without materializing it."""
+    return el.without_self_loops().m_directed + el.n
+
+
+def undirected_edge_count_with_loops(el_a: EdgeList, el_b: EdgeList) -> int:
+    """Exact non-loop undirected edge count of ``(A+I) (x) (B+I)``.
+
+    Derivation: the product's directed rows number
+    ``(2 m_A + n_A)(2 m_B + n_B)``, of which exactly ``n_A n_B`` are the
+    product's self loops; halving the rest gives
+
+    .. math::
+
+        m_C = 2 m_A m_B + m_A n_B + n_A m_B.
+
+    Both inputs are interpreted as loop-free undirected factors
+    (loops stripped before counting).
+    """
+    a = el_a.without_self_loops()
+    b = el_b.without_self_loops()
+    m_a, m_b = a.num_undirected_edges, b.num_undirected_edges
+    return 2 * m_a * m_b + m_a * el_b.n + el_a.n * m_b

@@ -1,0 +1,30 @@
+"""Shared low-level utilities: hashing, validation, chunking, timing."""
+
+from repro.util.hashing import (
+    splitmix64,
+    hash_pair,
+    edge_uniform,
+    EdgeHasher,
+)
+from repro.util.validation import (
+    check_square_ids,
+    check_edge_array,
+    check_probability,
+    check_positive_int,
+)
+from repro.util.chunking import iter_chunks, chunk_bounds
+from repro.util.timer import Timer
+
+__all__ = [
+    "splitmix64",
+    "hash_pair",
+    "edge_uniform",
+    "EdgeHasher",
+    "check_square_ids",
+    "check_edge_array",
+    "check_probability",
+    "check_positive_int",
+    "iter_chunks",
+    "chunk_bounds",
+    "Timer",
+]

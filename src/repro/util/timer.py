@@ -1,0 +1,45 @@
+"""Lightweight wall-clock timing used by experiments and the cost model."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Context-manager stopwatch accumulating over repeated ``with`` blocks.
+
+    Examples
+    --------
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    __slots__ = ("elapsed", "laps", "_start")
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self.laps: list[float] = []
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._start is None:  # pragma: no cover - defensive
+            return
+        lap = time.perf_counter() - self._start
+        self.laps.append(lap)
+        self.elapsed += lap
+        self._start = None
+
+    def reset(self) -> None:
+        """Zero the accumulated time and lap history."""
+        self.elapsed = 0.0
+        self.laps.clear()
+        self._start = None

@@ -1,0 +1,18 @@
+"""Formula-vs-direct validation harness."""
+
+from repro.validation.checks import CheckResult, ALL_CHECKS
+from repro.validation.streaming import StreamingValidator
+from repro.validation.harness import (
+    ValidationReport,
+    validate_product,
+    validate_algorithm,
+)
+
+__all__ = [
+    "CheckResult",
+    "ALL_CHECKS",
+    "ValidationReport",
+    "validate_product",
+    "validate_algorithm",
+    "StreamingValidator",
+]

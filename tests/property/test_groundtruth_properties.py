@@ -1,0 +1,251 @@
+"""Property-based tests: every ground-truth formula vs direct computation.
+
+Each property draws random loop-free symmetric factors and asserts the
+Kronecker formula agrees exactly with the trusted direct algorithm on the
+materialized product -- the library's core correctness contract.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics import (
+    closeness_centralities,
+    degrees,
+    eccentricities,
+    edge_triangles,
+    global_triangles,
+    hop_matrix,
+    is_connected,
+    vertex_triangles,
+)
+from repro.graph import EdgeList
+from repro.groundtruth import (
+    closeness_product_histogram,
+    community_stats_product,
+    degrees_full_loops,
+    degrees_no_loops,
+    eccentricity_product_all,
+    edge_count_full_loops,
+    edge_count_no_loops,
+    edge_triangles_full_loops,
+    factor_triangle_stats,
+    global_triangles_full_loops,
+    global_triangles_no_loops,
+    vertex_triangles_full_loops,
+    vertex_triangles_no_loops,
+)
+from repro.analytics.communities import community_stats
+from repro.groundtruth.community import kron_vertex_set
+from repro.kronecker import kron_product, kron_with_full_loops
+
+
+@st.composite
+def sym_factors(draw, min_n=2, max_n=7, connected=False):
+    """A random symmetric loop-free factor (optionally forced connected)."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    density = draw(st.floats(min_value=0.2, max_value=0.9))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    iu, ju = np.triu_indices(n, k=1)
+    keep = rng.random(len(iu)) < density
+    pairs = np.column_stack([iu[keep], ju[keep]]).astype(np.int64)
+    if connected:
+        # chain all vertices to force connectivity
+        chain = np.column_stack(
+            [np.arange(n - 1, dtype=np.int64), np.arange(1, n, dtype=np.int64)]
+        )
+        pairs = np.vstack([pairs, chain])
+    el = EdgeList(np.vstack([pairs, pairs[:, ::-1]]), n).deduplicate()
+    return el
+
+
+class TestTriangleFormulas:
+    @settings(max_examples=30, deadline=None)
+    @given(a=sym_factors(), b=sym_factors())
+    def test_no_loop_vertex_law(self, a, b):
+        law = vertex_triangles_no_loops(vertex_triangles(a), vertex_triangles(b))
+        assert np.array_equal(law, vertex_triangles(kron_product(a, b)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=sym_factors(), b=sym_factors())
+    def test_no_loop_global_law(self, a, b):
+        law = global_triangles_no_loops(global_triangles(a), global_triangles(b))
+        assert law == global_triangles(kron_product(a, b))
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=sym_factors(), b=sym_factors())
+    def test_cor1_full_loops(self, a, b):
+        sa, sb = factor_triangle_stats(a), factor_triangle_stats(b)
+        c = kron_with_full_loops(a, b)
+        assert np.array_equal(
+            vertex_triangles_full_loops(sa, sb), vertex_triangles(c)
+        )
+        assert global_triangles_full_loops(sa, sb) == global_triangles(c)
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=sym_factors(max_n=6), b=sym_factors(max_n=6))
+    def test_cor2_full_loops(self, a, b):
+        sa, sb = factor_triangle_stats(a), factor_triangle_stats(b)
+        c = kron_with_full_loops(a, b)
+        edges = c.without_self_loops().edges
+        if len(edges) == 0:
+            return
+        assert np.array_equal(
+            edge_triangles_full_loops(sa, sb, edges), edge_triangles(c, edges)
+        )
+
+
+class TestSizeAndDegreeFormulas:
+    @settings(max_examples=40, deadline=None)
+    @given(a=sym_factors(), b=sym_factors())
+    def test_edge_counts_both_regimes(self, a, b):
+        assert edge_count_no_loops(
+            a.num_undirected_edges, b.num_undirected_edges
+        ) == kron_product(a, b).num_undirected_edges
+        assert edge_count_full_loops(
+            a.num_undirected_edges, a.n, b.num_undirected_edges, b.n
+        ) == kron_with_full_loops(a, b).num_undirected_edges
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=sym_factors(), b=sym_factors())
+    def test_degree_laws_both_regimes(self, a, b):
+        assert np.array_equal(
+            degrees_no_loops(degrees(a), degrees(b)),
+            degrees(kron_product(a, b)),
+        )
+        assert np.array_equal(
+            degrees_full_loops(degrees(a), degrees(b)),
+            degrees(kron_with_full_loops(a, b)),
+        )
+
+
+class TestDistanceFormulas:
+    @settings(max_examples=20, deadline=None)
+    @given(a=sym_factors(connected=True), b=sym_factors(connected=True))
+    def test_cor4_eccentricity(self, a, b):
+        af, bf = a.with_full_self_loops(), b.with_full_self_loops()
+        c = kron_product(af, bf)
+        law = eccentricity_product_all(eccentricities(af), eccentricities(bf))
+        assert np.array_equal(law, eccentricities(c))
+
+    @settings(max_examples=12, deadline=None)
+    @given(a=sym_factors(connected=True, max_n=5), b=sym_factors(connected=True, max_n=5))
+    def test_thm4_closeness(self, a, b):
+        af, bf = a.with_full_self_loops(), b.with_full_self_loops()
+        c = kron_product(af, bf)
+        h_a, h_b = hop_matrix(af), hop_matrix(bf)
+        direct = closeness_centralities(c)
+        for p in range(c.n):
+            i, k = divmod(p, bf.n)
+            law = closeness_product_histogram(h_a[i], h_b[k])
+            assert law == pytest.approx(direct[p])
+
+
+class TestCommunityFormulas:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        a=sym_factors(min_n=3),
+        b=sym_factors(min_n=3),
+        frac=st.floats(min_value=0.25, max_value=0.75),
+    )
+    def test_thm6_exact(self, a, b, frac):
+        sa_ids = np.arange(max(1, int(a.n * frac)))
+        sb_ids = np.arange(max(1, int(b.n * frac)))
+        sa = community_stats(a, sa_ids)
+        sb = community_stats(b, sb_ids)
+        c = kron_with_full_loops(a, b)
+        direct = community_stats(c, kron_vertex_set(sa_ids, sb_ids, b.n))
+        law = community_stats_product(sa, sb)
+        assert (law.m_in, law.m_out) == (direct.m_in, direct.m_out)
+
+
+class TestLabeledFormulas:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        a=sym_factors(),
+        b=sym_factors(),
+        seed=st.integers(0, 2**31),
+        num_labels=st.integers(1, 4),
+    )
+    def test_labeled_laws(self, a, b, seed, num_labels):
+        from repro.groundtruth.labeled import (
+            labeled_class_counts_product,
+            labeled_degree_matrix,
+            labeled_degree_matrix_product,
+            labeled_edge_counts,
+            labeled_edge_counts_product,
+        )
+        from repro.kronecker.labeled import VertexLabeling, product_labeling
+
+        rng = np.random.default_rng(seed)
+        lab_a = VertexLabeling(rng.integers(0, num_labels, size=a.n), num_labels)
+        lab_b = VertexLabeling(rng.integers(0, num_labels, size=b.n), num_labels)
+        c = kron_product(a, b)
+        lab_c = product_labeling(lab_a, lab_b)
+        assert np.array_equal(
+            lab_c.class_counts(), labeled_class_counts_product(lab_a, lab_b)
+        )
+        assert np.array_equal(
+            labeled_degree_matrix(c, lab_c),
+            labeled_degree_matrix_product(
+                labeled_degree_matrix(a, lab_a), labeled_degree_matrix(b, lab_b)
+            ),
+        )
+        assert np.array_equal(
+            labeled_edge_counts(c, lab_c),
+            labeled_edge_counts_product(
+                labeled_edge_counts(a, lab_a), labeled_edge_counts(b, lab_b)
+            ),
+        )
+
+
+class TestWalkFormulas:
+    @settings(max_examples=20, deadline=None)
+    @given(a=sym_factors(max_n=5), b=sym_factors(max_n=5), h=st.integers(0, 4))
+    def test_walk_count_law(self, a, b, h):
+        from repro.groundtruth.walks import walk_counts, walk_counts_product
+
+        c = kron_product(a, b)
+        law = walk_counts_product(walk_counts(a, h), walk_counts(b, h))
+        direct = walk_counts(c, h)
+        assert abs(law - direct).max() < 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=sym_factors(max_n=5), b=sym_factors(max_n=5))
+    def test_closed_walk_law(self, a, b):
+        from repro.groundtruth.walks import (
+            closed_walk_totals,
+            closed_walk_totals_product,
+        )
+
+        c = kron_product(a, b)
+        law = closed_walk_totals_product(
+            closed_walk_totals(a, 5), closed_walk_totals(b, 5)
+        )
+        assert np.allclose(law, closed_walk_totals(c, 5))
+
+
+class TestMixedLoopFormulas:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        a=sym_factors(),
+        b=sym_factors(),
+        seed=st.integers(0, 2**31),
+    )
+    def test_single_factor_loops_triangles(self, a, b, seed):
+        from repro.groundtruth.mixed_loops import (
+            mixed_loop_factor_stats,
+            vertex_triangles_mixed_loops,
+        )
+
+        rng = np.random.default_rng(seed)
+        loops = np.nonzero(rng.random(a.n) < 0.5)[0]
+        rows = np.column_stack([loops, loops])
+        a_loopy = EdgeList(np.vstack([a.edges, rows]), a.n)
+        c = kron_product(a_loopy, b)
+        law = vertex_triangles_mixed_loops(
+            mixed_loop_factor_stats(a_loopy), vertex_triangles(b)
+        )
+        assert np.array_equal(law, vertex_triangles(c))

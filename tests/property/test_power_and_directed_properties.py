@@ -1,0 +1,149 @@
+"""Property-based tests: k-factor laws and directed distance laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics import degrees, eccentricities, global_triangles, vertex_triangles
+from repro.graph import EdgeList
+from repro.groundtruth.directed import (
+    directed_eccentricities,
+    in_degrees,
+    in_degrees_product,
+    out_degrees,
+    out_degrees_product,
+)
+from repro.groundtruth.power import (
+    degrees_many_no_loops,
+    eccentricity_many,
+    edge_count_many_no_loops,
+    global_triangles_many_no_loops,
+    vertex_count_many,
+    vertex_triangles_many_no_loops,
+)
+from repro.kronecker.power import (
+    KroneckerPowerGraph,
+    kron_product_many,
+    multi_combine,
+    multi_split,
+)
+from repro.kronecker.product import kron_product
+
+from tests.property.test_groundtruth_properties import sym_factors
+from tests.property.test_kron_properties import edge_lists
+
+
+@st.composite
+def factor_lists(draw, min_k=2, max_k=3, max_n=4):
+    k = draw(st.integers(min_value=min_k, max_value=max_k))
+    return [draw(sym_factors(min_n=2, max_n=max_n)) for _ in range(k)]
+
+
+@st.composite
+def digraphs(draw, max_n=6, strongly_connected=False):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    density = draw(st.floats(min_value=0.1, max_value=0.7))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n, n)) < density
+    np.fill_diagonal(mask, False)
+    u, v = np.nonzero(mask)
+    edges = np.column_stack([u, v]).astype(np.int64)
+    if strongly_connected:
+        ring = np.column_stack(
+            [np.arange(n, dtype=np.int64), (np.arange(n, dtype=np.int64) + 1) % n]
+        )
+        edges = np.vstack([edges, ring])
+    return EdgeList(edges, n).deduplicate()
+
+
+class TestMultiIndexProperties:
+    @given(
+        sizes=st.lists(st.integers(1, 50), min_size=1, max_size=5),
+        p=st.integers(min_value=0, max_value=10**9),
+    )
+    def test_split_combine_roundtrip(self, sizes, p):
+        total = int(np.prod(sizes))
+        p = p % total
+        coords = multi_split(p, sizes)
+        assert int(multi_combine(coords, sizes)) == p
+        for c, n in zip(coords, sizes):
+            assert 0 <= int(c) < n
+
+
+class TestPowerLaws:
+    @settings(max_examples=20, deadline=None)
+    @given(factors=factor_lists())
+    def test_counting_and_degree_laws(self, factors):
+        c = kron_product_many(factors)
+        assert vertex_count_many([f.n for f in factors]) == c.n
+        assert edge_count_many_no_loops(
+            [f.num_undirected_edges for f in factors]
+        ) == c.num_undirected_edges
+        law = degrees_many_no_loops([degrees(f) for f in factors])
+        assert np.array_equal(law, degrees(c))
+
+    @settings(max_examples=20, deadline=None)
+    @given(factors=factor_lists())
+    def test_triangle_laws(self, factors):
+        c = kron_product_many(factors)
+        t_law = vertex_triangles_many_no_loops(
+            [vertex_triangles(f) for f in factors]
+        )
+        assert np.array_equal(t_law, vertex_triangles(c))
+        assert global_triangles_many_no_loops(
+            [global_triangles(f) for f in factors]
+        ) == global_triangles(c)
+
+    @settings(max_examples=15, deadline=None)
+    @given(factors=factor_lists(max_k=3, max_n=4))
+    def test_lazy_power_graph_consistent(self, factors):
+        kg = KroneckerPowerGraph(factors)
+        dense = kron_product_many(factors)
+        assert kg.n == dense.n
+        assert kg.m_directed == dense.m_directed
+        assert np.array_equal(kg.degrees(), degrees(dense))
+
+    @settings(max_examples=12, deadline=None)
+    @given(factors=factor_lists(max_k=3, max_n=4))
+    def test_eccentricity_many(self, factors):
+        from repro.analytics.components import is_connected
+
+        loops = [f.with_full_self_loops() for f in factors]
+        if not all(is_connected(f.without_self_loops()) or f.n == 1 for f in loops):
+            return  # law needs connected factors for finite eccentricity
+        c = kron_product_many(loops)
+        try:
+            direct = eccentricities(c)
+        except Exception:
+            return
+        law = eccentricity_many([eccentricities(f) for f in loops])
+        assert np.array_equal(law, direct)
+
+
+class TestDirectedProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(a=digraphs(), b=digraphs())
+    def test_degree_laws(self, a, b):
+        c = kron_product(a, b)
+        assert np.array_equal(
+            out_degrees_product(out_degrees(a), out_degrees(b)), out_degrees(c)
+        )
+        assert np.array_equal(
+            in_degrees_product(in_degrees(a), in_degrees(b)), in_degrees(c)
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        a=digraphs(strongly_connected=True),
+        b=digraphs(strongly_connected=True),
+    )
+    def test_directed_eccentricity_law(self, a, b):
+        af = a.with_full_self_loops()
+        bf = b.with_full_self_loops()
+        c = kron_product(af, bf)
+        ecc_a = directed_eccentricities(af)
+        ecc_b = directed_eccentricities(bf)
+        law = np.maximum(ecc_a[:, None], ecc_b[None, :]).ravel()
+        assert np.array_equal(law, directed_eccentricities(c))

@@ -1,0 +1,74 @@
+"""Unit tests for repro.analytics.bfs."""
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.analytics.bfs import UNREACHABLE, bfs_hops, bfs_levels
+from repro.graph import CSRGraph, EdgeList, clique, cycle, erdos_renyi, path, star
+
+
+def csr(el):
+    return CSRGraph.from_edgelist(el)
+
+
+class TestBfsLevels:
+    def test_path_distances(self):
+        levels = bfs_levels(csr(path(5)), 0)
+        assert np.array_equal(levels, [0, 1, 2, 3, 4])
+
+    def test_cycle_distances(self):
+        levels = bfs_levels(csr(cycle(6)), 0)
+        assert np.array_equal(levels, [0, 1, 2, 3, 2, 1])
+
+    def test_star_from_leaf(self):
+        levels = bfs_levels(csr(star(5)), 1)
+        assert levels[0] == 1 and levels[1] == 0
+        assert np.all(levels[2:] == 2)
+
+    def test_unreachable(self):
+        el = EdgeList.from_pairs([(0, 1), (1, 0)], n=3)
+        levels = bfs_levels(csr(el), 0)
+        assert levels[2] == UNREACHABLE
+
+    def test_source_out_of_range(self):
+        with pytest.raises(IndexError):
+            bfs_levels(csr(cycle(3)), 5)
+
+    def test_self_loop_does_not_shorten(self):
+        el = cycle(5).with_full_self_loops()
+        levels = bfs_levels(csr(el), 0)
+        assert np.array_equal(levels, [0, 1, 2, 2, 1])
+
+    def test_matches_networkx(self):
+        g = erdos_renyi(80, 0.05, seed=21)
+        gc = csr(g)
+        nxg = g.to_networkx()
+        for src in (0, 17, 42):
+            mine = bfs_levels(gc, src)
+            theirs = nx.single_source_shortest_path_length(nxg, src)
+            for v in range(g.n):
+                expect = theirs.get(v, -1)
+                assert mine[v] == expect
+
+
+class TestBfsHops:
+    def test_selfloop_convention_source_is_one(self):
+        el = cycle(4).with_full_self_loops()
+        hops = bfs_hops(csr(el), 0, selfloop_convention=True)
+        assert hops[0] == 1
+
+    def test_no_convention_source_is_zero(self):
+        el = cycle(4).with_full_self_loops()
+        hops = bfs_hops(csr(el), 0, selfloop_convention=False)
+        assert hops[0] == 0
+
+    def test_convention_ignored_without_loop(self):
+        hops = bfs_hops(csr(cycle(4)), 0, selfloop_convention=True)
+        assert hops[0] == 0
+
+    def test_other_distances_unchanged(self):
+        el = cycle(5).with_full_self_loops()
+        plain = bfs_hops(csr(el), 0, selfloop_convention=False)
+        conv = bfs_hops(csr(el), 0, selfloop_convention=True)
+        assert np.array_equal(plain[1:], conv[1:])

@@ -1,0 +1,107 @@
+"""Unit tests for repro.groundtruth.closeness (Thm. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import closeness_centralities, hop_matrix
+from repro.analytics.bfs import UNREACHABLE
+from repro.graph import clique, cycle, path
+from repro.groundtruth.closeness import (
+    closeness_product_histogram,
+    closeness_product_naive,
+    closeness_product_subset,
+    hop_row_histogram,
+)
+from repro.kronecker import kron_product
+from tests.conftest import random_connected_factor
+
+
+@pytest.fixture
+def loop_factors():
+    a = random_connected_factor(8, seed=91).with_full_self_loops()
+    b = random_connected_factor(6, seed=92).with_full_self_loops()
+    return a, b
+
+
+class TestNaive:
+    def test_matches_direct_everywhere(self, loop_factors):
+        a, b = loop_factors
+        c = kron_product(a, b)
+        h_a, h_b = hop_matrix(a), hop_matrix(b)
+        direct = closeness_centralities(c)
+        for p in range(c.n):
+            i, k = divmod(p, b.n)
+            assert closeness_product_naive(h_a[i], h_b[k]) == pytest.approx(
+                direct[p]
+            )
+
+    def test_unreachable_contributes_zero(self):
+        row_a = np.array([1, UNREACHABLE])
+        row_b = np.array([1, 2])
+        # pairs: (1,1)->1, (1,2)->2, (U,*)->0
+        assert closeness_product_naive(row_a, row_b) == pytest.approx(1 + 0.5)
+
+
+class TestHistogram:
+    def test_agrees_with_naive(self, loop_factors):
+        a, b = loop_factors
+        h_a, h_b = hop_matrix(a), hop_matrix(b)
+        for i in range(a.n):
+            for k in range(b.n):
+                naive = closeness_product_naive(h_a[i], h_b[k])
+                hist = closeness_product_histogram(h_a[i], h_b[k])
+                assert hist == pytest.approx(naive)
+
+    def test_explicit_h_star(self, loop_factors):
+        a, b = loop_factors
+        h_a, h_b = hop_matrix(a), hop_matrix(b)
+        v1 = closeness_product_histogram(h_a[0], h_b[0], h_star=20)
+        v2 = closeness_product_histogram(h_a[0], h_b[0])
+        assert v1 == pytest.approx(v2)
+
+    def test_h_star_too_small_raises(self):
+        with pytest.raises(ValueError):
+            hop_row_histogram(np.array([1, 5]), h_star=3)
+
+    def test_unreachable_dropped(self):
+        row_a = np.array([1, UNREACHABLE])
+        row_b = np.array([1, 2])
+        assert closeness_product_histogram(row_a, row_b) == pytest.approx(1.5)
+
+    def test_all_unreachable(self):
+        row = np.array([UNREACHABLE, UNREACHABLE])
+        assert closeness_product_histogram(row, row) == 0.0
+
+    def test_clique_closed_form(self):
+        # K_n with loops: hops row = all ones; product row all ones of len n*m
+        a = clique(5).with_full_self_loops()
+        b = clique(4).with_full_self_loops()
+        h_a, h_b = hop_matrix(a), hop_matrix(b)
+        assert closeness_product_histogram(h_a[0], h_b[0]) == pytest.approx(20.0)
+
+
+class TestSubset:
+    def test_grid_shape(self, loop_factors):
+        a, b = loop_factors
+        h_a, h_b = hop_matrix(a), hop_matrix(b)
+        out = closeness_product_subset(h_a[:3], h_b[:2])
+        assert out.shape == (3, 2)
+
+    def test_methods_agree(self, loop_factors):
+        a, b = loop_factors
+        h_a, h_b = hop_matrix(a), hop_matrix(b)
+        fast = closeness_product_subset(h_a[:4], h_b[:4], method="histogram")
+        slow = closeness_product_subset(h_a[:4], h_b[:4], method="naive")
+        assert np.allclose(fast, slow)
+
+    def test_single_row_inputs(self, loop_factors):
+        a, b = loop_factors
+        h_a, h_b = hop_matrix(a), hop_matrix(b)
+        out = closeness_product_subset(h_a[0], h_b[0])
+        assert out.shape == (1, 1)
+
+    def test_unknown_method(self, loop_factors):
+        a, b = loop_factors
+        h_a, h_b = hop_matrix(a), hop_matrix(b)
+        with pytest.raises(ValueError):
+            closeness_product_subset(h_a[:1], h_b[:1], method="wat")

@@ -1,0 +1,110 @@
+"""Unit tests for repro.groundtruth.clustering (Thm. 1 / Thm. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    degrees,
+    edge_clustering,
+    edge_triangles_matrix,
+    vertex_clustering,
+)
+from repro.graph import clique, cycle, erdos_renyi, star
+from repro.groundtruth.clustering import (
+    THETA_LOWER_BOUND,
+    edge_clustering_product,
+    phi_edge,
+    theta_vertex,
+    vertex_clustering_product,
+)
+from repro.kronecker import kron_product
+
+
+class TestTheta:
+    def test_minimum_at_degree_two(self):
+        assert theta_vertex(2, 2) == pytest.approx(1.0 / 3.0)
+
+    def test_monotone_increasing(self):
+        vals = [theta_vertex(d, 5) for d in range(2, 30)]
+        assert all(b > a for a, b in zip(vals, vals[1:]))
+
+    def test_bounded_below_by_third(self):
+        d = np.arange(2, 100)
+        grid = theta_vertex(d[:, None], d[None, :])
+        assert np.all(grid >= THETA_LOWER_BOUND - 1e-12)
+        assert np.all(grid < 1.0)
+
+    def test_approaches_one(self):
+        assert theta_vertex(1000, 1000) > 0.99
+
+    def test_nan_below_two(self):
+        assert np.isnan(theta_vertex(1, 5))
+
+
+class TestVertexLaw:
+    def test_exact_on_product(self, er_a, er_b):
+        c = kron_product(er_a, er_b)
+        law = vertex_clustering_product(
+            vertex_clustering(er_a), degrees(er_a),
+            vertex_clustering(er_b), degrees(er_b),
+        )
+        direct = vertex_clustering(c)
+        defined = ~np.isnan(law)
+        assert np.allclose(law[defined], direct[defined])
+
+    def test_clique_times_clique(self):
+        # eta = 1 on both factors; theta < 1 so product eta = theta exactly
+        a, b = clique(4), clique(5)
+        law = vertex_clustering_product(
+            vertex_clustering(a), degrees(a),
+            vertex_clustering(b), degrees(b),
+        )
+        assert np.allclose(law, theta_vertex(3, 4))
+        direct = vertex_clustering(kron_product(a, b))
+        assert np.allclose(direct, law)
+
+    def test_lower_bound_holds(self, er_a, er_b):
+        c = kron_product(er_a, er_b)
+        eta_c = vertex_clustering(c)
+        eta_a = np.repeat(vertex_clustering(er_a), er_b.n)
+        eta_b = np.tile(vertex_clustering(er_b), er_a.n)
+        bound = THETA_LOWER_BOUND * eta_a * eta_b
+        ok = ~(np.isnan(eta_c) | np.isnan(bound))
+        assert np.all(eta_c[ok] >= bound[ok] - 1e-12)
+
+
+class TestPhiAndEdgeLaw:
+    def test_phi_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        d = rng.integers(2, 50, size=(4, 1000))
+        phi = phi_edge(*d)
+        assert np.all(phi > 0) and np.all(phi < 1.0 + 1e-12)
+
+    def test_phi_can_be_small(self):
+        # paper's anti-assortative scenario: phi -> 0
+        assert phi_edge(2, 1000, 1000, 2) < 0.01
+
+    def test_exact_on_product(self, er_a, er_b):
+        c = kron_product(er_a, er_b)
+        xi_a = edge_triangles_matrix(er_a)
+        xi_b = edge_triangles_matrix(er_b)
+        d_a, d_b = degrees(er_a), degrees(er_b)
+
+        def lookup(delta, deg):
+            def fn(rows, cols):
+                tri = np.asarray(delta[rows, cols]).ravel()
+                dmin = np.minimum(deg[rows], deg[cols]).astype(float)
+                out = np.full(len(rows), np.nan)
+                ok = dmin >= 2
+                out[ok] = tri[ok] / (dmin[ok] - 1.0)
+                return out
+
+            return fn
+
+        edges = c.edges
+        law = edge_clustering_product(
+            lookup(xi_a, d_a), d_a, lookup(xi_b, d_b), d_b, edges, er_b.n
+        )
+        direct = edge_clustering(c, edges)
+        defined = ~np.isnan(law)
+        assert np.allclose(law[defined], direct[defined])

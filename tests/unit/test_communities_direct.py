@@ -1,0 +1,90 @@
+"""Unit tests for repro.analytics.communities and degree."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    community_stats,
+    degree_histogram,
+    degrees,
+    is_partition,
+    partition_stats,
+)
+from repro.errors import GraphFormatError
+from repro.graph import EdgeList, clique, cycle, star, stochastic_block_model
+
+
+class TestCommunityStats:
+    def test_clique_subset(self):
+        # S = {0,1,2} inside K5: m_in = 3, m_out = 3*2 = 6
+        s = community_stats(clique(5), np.array([0, 1, 2]))
+        assert s.m_in == 3 and s.m_out == 6
+
+    def test_densities(self):
+        s = community_stats(clique(5), np.array([0, 1, 2]))
+        assert s.rho_in == pytest.approx(1.0)
+        assert s.rho_out == pytest.approx(1.0)
+
+    def test_whole_graph_has_no_external(self):
+        s = community_stats(cycle(6), np.arange(6))
+        assert s.m_out == 0
+        assert np.isnan(s.rho_out)
+
+    def test_singleton(self):
+        s = community_stats(star(5), np.array([0]))
+        assert s.m_in == 0 and s.m_out == 4
+        assert np.isnan(s.rho_in)
+
+    def test_self_loops_excluded(self):
+        el = clique(4).with_full_self_loops()
+        s = community_stats(el, np.array([0, 1]))
+        assert s.m_in == 1
+
+    def test_duplicate_members_ignored(self):
+        s = community_stats(clique(4), np.array([0, 1, 1]))
+        assert s.size == 2 and s.m_in == 1
+
+    def test_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            community_stats(clique(3), np.array([7]))
+
+    def test_sbm_density_separation(self):
+        g = stochastic_block_model([15, 15], 0.8, 0.05, seed=71)
+        s = community_stats(g, np.arange(15))
+        assert s.rho_in > 5 * s.rho_out
+
+
+class TestPartitions:
+    def test_is_partition_true(self):
+        parts = [np.array([0, 1]), np.array([2]), np.array([3, 4])]
+        assert is_partition(parts, 5)
+
+    def test_overlap_rejected(self):
+        assert not is_partition([np.array([0, 1]), np.array([1, 2])], 3)
+
+    def test_missing_vertex_rejected(self):
+        assert not is_partition([np.array([0])], 2)
+
+    def test_out_of_range_rejected(self):
+        assert not is_partition([np.array([0, 5])], 2)
+
+    def test_partition_stats_lengths(self):
+        g = stochastic_block_model([8, 8], 0.8, 0.1, seed=72)
+        stats = partition_stats(g, [np.arange(8), np.arange(8, 16)])
+        assert len(stats) == 2
+        # symmetric roles: the two blocks see the same boundary
+        assert stats[0].m_out == stats[1].m_out
+
+
+class TestDegrees:
+    def test_basic(self):
+        assert np.array_equal(degrees(star(5)), [4, 1, 1, 1, 1])
+
+    def test_loops_excluded_by_default(self):
+        el = cycle(4).with_full_self_loops()
+        assert np.array_equal(degrees(el), [2, 2, 2, 2])
+        assert np.array_equal(degrees(el, include_loops=True), [3, 3, 3, 3])
+
+    def test_histogram(self):
+        h = degree_histogram(star(5))
+        assert h[1] == 4 and h[4] == 1

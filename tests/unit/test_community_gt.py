@@ -1,0 +1,179 @@
+"""Unit tests for repro.groundtruth.community (Thm. 6, Cor. 6, Cor. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.communities import (
+    community_stats,
+    labels_from_partition,
+    partition_stats,
+    partition_stats_labeled,
+)
+from repro.errors import AssumptionError
+from repro.graph import disjoint_cliques, erdos_renyi, stochastic_block_model
+from repro.groundtruth.community import (
+    community_stats_product,
+    external_density_upper_bound,
+    internal_density_lower_bound,
+    kron_partition,
+    kron_vertex_set,
+    num_communities_product,
+    omega_factor,
+    omega_prefactor,
+    theta_set,
+)
+from repro.kronecker import kron_with_full_loops
+
+
+@pytest.fixture
+def factors():
+    a = stochastic_block_model([5, 5], 0.9, 0.2, seed=111)
+    b = stochastic_block_model([4, 4], 0.9, 0.25, seed=112)
+    return a, b
+
+
+class TestKronVertexSets:
+    def test_ids_formula(self):
+        out = kron_vertex_set(np.array([0, 2]), np.array([1]), n_b=3)
+        assert np.array_equal(out, [1, 7])
+
+    def test_size_multiplies(self):
+        out = kron_vertex_set(np.arange(3), np.arange(4), n_b=10)
+        assert len(out) == 12
+
+    def test_partition_covers(self, factors):
+        a, b = factors
+        parts_a = [np.arange(5), np.arange(5, 10)]
+        parts_b = [np.arange(4), np.arange(4, 8)]
+        parts_c = kron_partition(parts_a, parts_b, b.n)
+        assert len(parts_c) == 4
+        allv = np.sort(np.concatenate(parts_c))
+        assert np.array_equal(allv, np.arange(a.n * b.n))
+
+    def test_num_communities_law(self):
+        assert num_communities_product(33, 33) == 1089
+
+
+class TestThm6:
+    def test_exact_counts(self, factors):
+        a, b = factors
+        c = kron_with_full_loops(a, b)
+        sa = community_stats(a, np.arange(5))
+        sb = community_stats(b, np.arange(4))
+        law = community_stats_product(sa, sb)
+        direct = community_stats(c, kron_vertex_set(np.arange(5), np.arange(4), b.n))
+        assert (law.m_in, law.m_out) == (direct.m_in, direct.m_out)
+        assert law.size == direct.size and law.n == direct.n
+
+    def test_exact_on_every_pair(self, factors):
+        a, b = factors
+        c = kron_with_full_loops(a, b)
+        parts_a = [np.arange(5), np.arange(5, 10)]
+        parts_b = [np.arange(4), np.arange(4, 8)]
+        for pa in parts_a:
+            for pb in parts_b:
+                law = community_stats_product(
+                    community_stats(a, pa), community_stats(b, pb)
+                )
+                direct = community_stats(c, kron_vertex_set(pa, pb, b.n))
+                assert (law.m_in, law.m_out) == (direct.m_in, direct.m_out)
+
+    def test_disjoint_cliques_example(self):
+        """Ex. 1: x_A x_B disjoint cliques of size y_A y_B."""
+        a = disjoint_cliques(2, 3)
+        b = disjoint_cliques(3, 2)
+        c = kron_with_full_loops(a, b)
+        parts_a = [np.arange(i * 3, (i + 1) * 3) for i in range(2)]
+        parts_b = [np.arange(i * 2, (i + 1) * 2) for i in range(3)]
+        parts_c = kron_partition(parts_a, parts_b, b.n)
+        assert len(parts_c) == 6
+        labels = labels_from_partition(parts_c, c.n)
+        for s in partition_stats_labeled(c, labels, 6):
+            assert s.size == 6
+            assert s.m_in == 15  # K6
+            assert s.m_out == 0
+            assert s.rho_in == pytest.approx(1.0)
+
+
+class TestCor6:
+    def test_theta_set_range(self):
+        assert theta_set(2, 2) == pytest.approx(1.0 / 3.0)
+        assert theta_set(100, 100) > 0.97
+        with pytest.raises(AssumptionError):
+            theta_set(1, 5)
+
+    def test_lower_bound_holds(self, factors):
+        a, b = factors
+        sa = community_stats(a, np.arange(5))
+        sb = community_stats(b, np.arange(4))
+        sc = community_stats_product(sa, sb)
+        assert sc.rho_in >= internal_density_lower_bound(sa, sb) - 1e-12
+        assert sc.rho_in >= internal_density_lower_bound(sa, sb, sharp=True) - 1e-12
+
+    def test_sharp_tighter_than_third(self, factors):
+        a, b = factors
+        sa = community_stats(a, np.arange(5))
+        sb = community_stats(b, np.arange(4))
+        assert internal_density_lower_bound(sa, sb, sharp=True) >= \
+            internal_density_lower_bound(sa, sb)
+
+
+class TestCor7:
+    def test_upper_bounds_hold_on_sbm_battery(self):
+        rng_seeds = range(5)
+        for s in rng_seeds:
+            a = stochastic_block_model([8, 8, 8], 0.7, 0.15, seed=200 + s)
+            b = stochastic_block_model([6, 6, 6], 0.7, 0.2, seed=300 + s)
+            for pa_lo in (0, 8, 16):
+                sa = community_stats(a, np.arange(pa_lo, pa_lo + 8))
+                sb = community_stats(b, np.arange(0, 6))
+                try:
+                    derived = external_density_upper_bound(sa, sb, constant="derived")
+                except AssumptionError:
+                    continue
+                sc = community_stats_product(sa, sb)
+                assert sc.rho_out <= derived + 1e-12
+
+    def test_hypothesis_checked(self):
+        # m_out < |S| violates Cor. 7's hypothesis
+        a = disjoint_cliques(2, 4)  # communities have m_out = 0
+        sa = community_stats(a, np.arange(4))
+        with pytest.raises(AssumptionError):
+            external_density_upper_bound(sa, sa)
+
+    def test_omega_factor(self, factors):
+        a, b = factors
+        sa = community_stats(a, np.arange(5))
+        sb = community_stats(b, np.arange(4))
+        expect = max(sa.m_in / sa.m_out, sb.m_in / sb.m_out)
+        assert omega_factor(sa, sb) == pytest.approx(expect)
+
+    def test_omega_prefactor_near_one_for_small_sets(self, factors):
+        a, b = factors
+        sa = community_stats(a, np.arange(5))
+        sb = community_stats(b, np.arange(4))
+        omega = omega_prefactor(sa, sb)
+        assert 1.0 < omega < 2.0
+
+    def test_unknown_constant(self, factors):
+        a, b = factors
+        sa = community_stats(a, np.arange(5))
+        sb = community_stats(b, np.arange(4))
+        with pytest.raises(ValueError):
+            external_density_upper_bound(sa, sb, constant="nope")
+
+
+class TestLabeledPartitionStats:
+    def test_matches_per_set_version(self, factors):
+        a, _ = factors
+        parts = [np.arange(5), np.arange(5, 10)]
+        slow = partition_stats(a, parts)
+        fast = partition_stats_labeled(a, labels_from_partition(parts, a.n), 2)
+        for s, f in zip(slow, fast):
+            assert (s.size, s.m_in, s.m_out) == (f.size, f.m_in, f.m_out)
+
+    def test_incomplete_partition_rejected(self):
+        from repro.errors import GraphFormatError
+
+        with pytest.raises(GraphFormatError):
+            labels_from_partition([np.array([0])], 3)

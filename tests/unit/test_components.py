@@ -1,0 +1,47 @@
+"""Unit tests for repro.analytics.components."""
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.analytics import connected_components, is_connected, num_components
+from repro.graph import EdgeList, clique, cycle, disjoint_cliques, empty_graph, erdos_renyi
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        labels = connected_components(cycle(5))
+        assert np.all(labels == 0)
+
+    def test_disjoint_cliques(self):
+        labels = connected_components(disjoint_cliques(3, 4))
+        assert len(np.unique(labels)) == 3
+        # vertices of one clique share a label
+        for c in range(3):
+            assert len(np.unique(labels[c * 4 : (c + 1) * 4])) == 1
+
+    def test_isolated_vertices_are_components(self):
+        el = EdgeList.from_pairs([(0, 1), (1, 0)], n=4)
+        assert num_components(el) == 3
+
+    def test_labels_deterministic_by_min_id(self):
+        el = EdgeList.from_pairs([(3, 4), (4, 3), (0, 1), (1, 0)], n=5)
+        labels = connected_components(el)
+        assert labels[0] == 0  # component containing vertex 0 gets label 0
+        assert labels[2] == 1
+        assert labels[3] == 2
+
+    def test_empty_graph(self):
+        assert num_components(empty_graph(0)) == 0
+        assert num_components(empty_graph(4)) == 4
+
+    def test_matches_networkx(self):
+        g = erdos_renyi(60, 0.03, seed=9)
+        ours = num_components(g)
+        theirs = nx.number_connected_components(g.to_networkx())
+        assert ours == theirs
+
+    def test_is_connected(self):
+        assert is_connected(clique(5))
+        assert not is_connected(disjoint_cliques(2, 3))
+        assert not is_connected(empty_graph(2))

@@ -1,0 +1,85 @@
+"""Unit tests for Weichsel connectivity ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import is_bipartite, num_components
+from repro.errors import AssumptionError
+from repro.graph import EdgeList, clique, cycle, disjoint_cliques, path, star
+from repro.groundtruth.connectivity import (
+    product_is_connected,
+    product_num_components,
+)
+from repro.kronecker import kron_product
+from tests.conftest import random_connected_factor
+
+
+class TestIsBipartite:
+    @pytest.mark.parametrize("g,expect", [
+        (cycle(4), True),
+        (cycle(6), True),
+        (cycle(5), False),
+        (clique(3), False),
+        (path(7), True),
+        (star(5), True),
+    ])
+    def test_known_families(self, g, expect):
+        assert is_bipartite(g) == expect
+
+    def test_self_loop_breaks_bipartiteness(self):
+        assert not is_bipartite(path(3).with_full_self_loops())
+
+    def test_disconnected_components_checked_independently(self):
+        # even cycle + odd cycle, disjoint: not bipartite overall
+        c4 = cycle(4)
+        c5 = cycle(5).relabeled(np.arange(4, 9))
+        g = EdgeList(np.vstack([c4.edges, c5.edges]), 9)
+        assert not is_bipartite(g)
+        both_even = EdgeList(
+            np.vstack([cycle(4).edges, cycle(4).relabeled(np.arange(4, 8)).edges]), 8
+        )
+        assert is_bipartite(both_even)
+
+
+class TestWeichsel:
+    def test_bipartite_times_bipartite_two_components(self):
+        for a, b in [(cycle(4), cycle(6)), (path(4), path(5)), (star(4), cycle(4))]:
+            law = product_num_components(a, b)
+            direct = num_components(kron_product(a, b))
+            assert law == direct == 2
+
+    def test_nonbipartite_factor_connects(self):
+        for a, b in [(cycle(5), cycle(4)), (clique(3), path(4)), (cycle(5), cycle(7))]:
+            law = product_num_components(a, b)
+            direct = num_components(kron_product(a, b))
+            assert law == direct == 1
+
+    def test_self_loops_connect(self):
+        a = cycle(4).with_full_self_loops()
+        b = path(5)
+        assert product_is_connected(a, b)
+        assert num_components(kron_product(a, b)) == 1
+
+    def test_random_battery(self):
+        for seed in range(5):
+            a = random_connected_factor(8, seed=900 + seed)
+            b = random_connected_factor(7, seed=950 + seed)
+            law = product_num_components(a, b)
+            assert law == num_components(kron_product(a, b))
+
+    def test_edgeless_factor(self):
+        from repro.graph import empty_graph
+
+        single = empty_graph(1)
+        b = cycle(4)
+        assert product_num_components(single, b) == 4
+
+    def test_disconnected_factor_rejected(self):
+        with pytest.raises(AssumptionError):
+            product_num_components(disjoint_cliques(2, 3), cycle(4))
+
+    def test_empty_rejected(self):
+        from repro.graph import empty_graph
+
+        with pytest.raises(AssumptionError):
+            product_num_components(empty_graph(0), cycle(3))

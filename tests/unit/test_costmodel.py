@@ -1,0 +1,133 @@
+"""Unit tests for repro.distributed.costmodel (Remark 1 arithmetic)."""
+
+import math
+
+import pytest
+
+from repro.distributed.costmodel import (
+    CostModel,
+    sequoia_projection,
+    strong_scaling_curve,
+    weak_scaling_curve,
+)
+from repro.errors import PartitionError
+
+
+class TestCostModel:
+    def test_calibration(self):
+        m = CostModel.calibrated(measured_edges=10**6, measured_seconds=2.0)
+        assert m.edges_per_second == pytest.approx(5e5)
+
+    def test_calibration_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            CostModel.calibrated(0, 1.0)
+        with pytest.raises(ValueError):
+            CostModel.calibrated(10, 0.0)
+
+    def test_effective_ranks_caps(self):
+        m = CostModel()
+        # 1-D: capped at |E_A|
+        assert m.effective_ranks(100, 10**6, 10**4, "1d") == 100
+        # 2-D: capped at |E_A||E_B|
+        assert m.effective_ranks(100, 100, 10**6, "2d") == 10**4
+
+    def test_unknown_scheme(self):
+        with pytest.raises(PartitionError):
+            CostModel().effective_ranks(10, 10, 1, "4d")
+
+    def test_storage_1d_formula(self):
+        m = CostModel()
+        assert m.storage_rows_per_rank(1000, 50, 10, "1d") == pytest.approx(
+            1000 / 10 + 50
+        )
+
+    def test_storage_2d_splits_both(self):
+        m = CostModel()
+        s = m.storage_rows_per_rank(1000, 1000, 100, "2d")
+        assert s == pytest.approx(1000 / 10 + 1000 / 10)
+
+    def test_time_scales_inverse_ranks(self):
+        m = CostModel(edges_per_second=1e6)
+        t1 = m.generation_time(1000, 1000, 1, "1d")
+        t10 = m.generation_time(1000, 1000, 10, "1d")
+        assert t1 / t10 == pytest.approx(10, rel=0.01)
+
+    def test_1d_time_floors_at_cap(self):
+        m = CostModel(edges_per_second=1e6)
+        at_cap = m.generation_time(100, 1000, 100, "1d")
+        beyond = m.generation_time(100, 1000, 10**5, "1d")
+        assert beyond == pytest.approx(at_cap)
+
+    def test_2d_keeps_scaling_past_1d_cap(self):
+        m = CostModel(edges_per_second=1e6)
+        r = 10**4
+        t1d = m.generation_time(100, 100, r, "1d")
+        t2d = m.generation_time(100, 100, r, "2d")
+        assert t2d < t1d / 50
+
+    def test_shuffle_term_adds_time(self):
+        base = CostModel(edges_per_second=1e6)
+        shuf = base.with_shuffle(1e6)
+        assert shuf.generation_time(100, 100, 4, "1d") == pytest.approx(
+            2 * base.generation_time(100, 100, 4, "1d")
+        )
+
+
+class TestCurves:
+    def test_strong_curve_monotone_to_cap(self):
+        m = CostModel()
+        pts = strong_scaling_curve(m, 10**4, 10**4, [1, 10, 100], "2d")
+        times = [p.time_seconds for p in pts]
+        assert times[0] > times[1] > times[2]
+
+    def test_weak_curve_2d_flat(self):
+        m = CostModel()
+        pts = weak_scaling_curve(m, 10**4, [1, 100, 10**4, 10**6], "2d")
+        times = [p.time_seconds for p in pts]
+        assert max(times) / min(times) < 3  # flat up to rounding
+
+    def test_weak_curve_1d_balanced_degrades(self):
+        """Remark 1: balanced factors break 1-D weak scaling."""
+        m = CostModel()
+        pts = weak_scaling_curve(m, 10**4, [1, 10**6, 10**8], "1d")
+        assert pts[-1].time_seconds > 5 * pts[0].time_seconds
+
+    def test_weak_curve_fixed_b_1d_survives(self):
+        """The paper's 'simple solution': fix B, grow A linearly."""
+        m = CostModel()
+        pts = weak_scaling_curve(
+            m, 10**4, [1, 10**4, 10**8], "1d", balanced=False, fixed_m_b=100
+        )
+        times = [p.time_seconds for p in pts]
+        assert max(times) / min(times) < 3
+
+    def test_weak_unbalanced_needs_m_b(self):
+        with pytest.raises(ValueError):
+            weak_scaling_curve(CostModel(), 10, [1], "1d", balanced=False)
+
+    def test_efficiency_in_unit_interval(self):
+        m = CostModel()
+        for p in strong_scaling_curve(m, 10**4, 10**4, [1, 7, 91], "1d"):
+            assert 0 < p.efficiency <= 1.0
+
+
+class TestSequoia:
+    def test_projection_shape(self):
+        proj = sequoia_projection()
+        assert proj["ranks"] == 1_570_000
+        assert proj["factor_directed_edges"] == 2 * 16 * 2**18
+        assert proj["product_directed_edges"] == proj["factor_directed_edges"] ** 2
+
+    def test_trillion_edge_scale(self):
+        proj = sequoia_projection()
+        assert proj["product_directed_edges"] > 10**12  # "trillion-edge"
+
+    def test_implied_rate_is_plausible(self):
+        """The paper's <60 s claim needs under 1e6 edges/s/core -- easily
+        achievable even for a slow core, i.e. the claim is arithmetic-sound."""
+        proj = sequoia_projection()
+        assert proj["implied_edges_per_second_per_rank"] < 1e6
+
+    def test_2d_beats_1d_at_sequoia_scale(self):
+        proj = sequoia_projection(CostModel(edges_per_second=1e6))
+        assert proj["point_2d"].time_seconds < proj["point_1d"].time_seconds

@@ -1,0 +1,75 @@
+"""Unit tests for repro.graph.csr.CSRGraph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import CSRGraph, EdgeList, clique, cycle, star
+
+
+class TestConstruction:
+    def test_from_edgelist_dedups(self):
+        el = EdgeList.from_pairs([(0, 1), (0, 1), (1, 0)], n=2)
+        g = CSRGraph.from_edgelist(el)
+        assert g.nnz == 2
+
+    def test_rows_sorted(self):
+        el = EdgeList.from_pairs([(0, 3), (0, 1), (0, 2)], n=4)
+        g = CSRGraph.from_edgelist(el)
+        assert np.array_equal(g.neighbors(0), [1, 2, 3])
+
+    def test_bad_indptr_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(2, np.array([0, 1]), np.array([1]))
+        with pytest.raises(GraphFormatError):
+            CSRGraph(1, np.array([0, 5]), np.array([0]))
+
+    def test_round_trip(self):
+        el = cycle(6)
+        g = CSRGraph.from_edgelist(el)
+        assert g.to_edgelist() == el
+
+
+class TestQueries:
+    def test_has_edge(self):
+        g = CSRGraph.from_edgelist(cycle(5))
+        assert g.has_edge(0, 1)
+        assert g.has_edge(0, 4)
+        assert not g.has_edge(0, 2)
+
+    def test_has_self_loop(self):
+        g = CSRGraph.from_edgelist(EdgeList.from_pairs([(0, 0), (0, 1)], n=2))
+        assert g.has_self_loop(0)
+        assert not g.has_self_loop(1)
+
+    def test_degrees_exclude_loops(self):
+        el = cycle(4).with_full_self_loops()
+        g = CSRGraph.from_edgelist(el)
+        assert np.array_equal(g.degrees(), [2, 2, 2, 2])
+        assert np.array_equal(g.degrees_total(), [3, 3, 3, 3])
+
+    def test_degrees_star(self):
+        g = CSRGraph.from_edgelist(star(5))
+        assert g.degrees()[0] == 4
+        assert np.all(g.degrees()[1:] == 1)
+
+    def test_self_loop_mask(self):
+        el = EdgeList.from_pairs([(0, 0), (2, 2), (0, 1), (1, 0)], n=3)
+        g = CSRGraph.from_edgelist(el)
+        assert np.array_equal(g.self_loop_mask(), [True, False, True])
+
+    def test_is_symmetric(self):
+        assert CSRGraph.from_edgelist(clique(4)).is_symmetric()
+        assert not CSRGraph.from_edgelist(EdgeList.from_pairs([(0, 1)], n=2)).is_symmetric()
+
+    def test_isolated_vertices(self):
+        el = EdgeList.from_pairs([(0, 1), (1, 0)], n=5)
+        g = CSRGraph.from_edgelist(el)
+        assert len(g.neighbors(4)) == 0
+        assert g.degrees()[4] == 0
+
+    def test_to_scipy(self):
+        g = CSRGraph.from_edgelist(cycle(4))
+        mat = g.to_scipy_sparse()
+        assert mat.nnz == 8
+        assert (mat != mat.T).nnz == 0

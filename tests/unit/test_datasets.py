@@ -1,0 +1,87 @@
+"""Unit tests for repro.graph.datasets."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import connected_components, degrees, is_connected
+from repro.graph import (
+    EdgeList,
+    gnutella_like,
+    groundtruth_like,
+    groundtruth_partition,
+    largest_connected_component,
+)
+from repro.graph.datasets import GROUNDTRUTH_PAPER_STATS
+from repro.analytics.communities import partition_stats
+
+
+class TestLargestConnectedComponent:
+    def test_picks_biggest(self):
+        # component {0,1,2} and component {3,4}
+        el = EdgeList.from_pairs(
+            [(0, 1), (1, 0), (1, 2), (2, 1), (3, 4), (4, 3)], n=5
+        )
+        lcc = largest_connected_component(el)
+        assert lcc.n == 3
+        assert is_connected(lcc)
+
+    def test_connected_graph_unchanged_shape(self):
+        from repro.graph import cycle
+
+        lcc = largest_connected_component(cycle(6))
+        assert lcc.n == 6 and lcc.num_undirected_edges == 6
+
+    def test_empty(self):
+        el = EdgeList(np.empty((0, 2)), n=0)
+        assert largest_connected_component(el).n == 0
+
+
+class TestGnutellaLike:
+    def test_reproducible(self):
+        assert gnutella_like(n=200) == gnutella_like(n=200)
+
+    def test_preprocessing_pipeline(self):
+        g = gnutella_like(n=300)
+        assert g.is_symmetric()
+        assert g.has_full_self_loops()  # paper adds all self loops
+        assert is_connected(g.without_self_loops())
+
+    def test_without_loops_option(self):
+        g = gnutella_like(n=200, with_self_loops=False)
+        assert g.has_no_self_loops()
+
+    def test_scale_free_signature(self):
+        g = gnutella_like(n=600, with_self_loops=False)
+        d = degrees(g)
+        # heavy tail: max degree far above mean
+        assert d.max() > 4 * d.mean()
+        # small world: tiny diameter relative to n (checked via ecc bound)
+        from repro.analytics import pruned_eccentricities
+
+        assert pruned_eccentricities(g).diameter <= 12
+
+
+class TestGroundtruthLike:
+    def test_shape_and_partition(self):
+        g = groundtruth_like(num_blocks=5, block_size=10, seed=1)
+        parts = groundtruth_partition(num_blocks=5, block_size=10)
+        assert g.n == 50
+        assert len(parts) == 5
+        assert np.array_equal(np.sort(np.concatenate(parts)), np.arange(50))
+
+    def test_loop_free_symmetric(self):
+        g = groundtruth_like(num_blocks=4, block_size=8, seed=2)
+        assert g.has_no_self_loops() and g.is_symmetric()
+
+    def test_density_ranges_match_paper(self):
+        # defaults are tuned so per-community densities land inside the
+        # paper's reported ranges for groundtruth_20000
+        g = groundtruth_like()
+        parts = groundtruth_partition()
+        stats = partition_stats(g, parts)
+        lo_in, hi_in = GROUNDTRUTH_PAPER_STATS["rho_in_A"]
+        rho_in = np.array([s.rho_in for s in stats])
+        assert rho_in.min() >= lo_in * 0.5 and rho_in.max() <= hi_in * 2.0
+
+    def test_default_block_count_is_papers(self):
+        assert len(groundtruth_partition()) == 33

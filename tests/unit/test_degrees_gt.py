@@ -1,0 +1,82 @@
+"""Unit tests for repro.groundtruth.degrees."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import degrees
+from repro.errors import AssumptionError
+from repro.graph import clique, cycle, erdos_renyi, star
+from repro.groundtruth.degrees import (
+    degree_histogram_product,
+    degrees_full_loops,
+    degrees_no_loops,
+    edge_count_full_loops,
+    edge_count_no_loops,
+    vertex_count,
+)
+from repro.kronecker import kron_product, kron_with_full_loops
+
+
+class TestDegreeLaws:
+    def test_no_loops_matches_direct(self, er_a, er_b):
+        law = degrees_no_loops(degrees(er_a), degrees(er_b))
+        direct = degrees(kron_product(er_a, er_b))
+        assert np.array_equal(law, direct)
+
+    def test_full_loops_matches_direct(self, er_a, er_b):
+        law = degrees_full_loops(degrees(er_a), degrees(er_b))
+        direct = degrees(kron_with_full_loops(er_a, er_b))
+        assert np.array_equal(law, direct)
+
+    def test_full_loops_formula_values(self):
+        # d_C = (d_i + 1)(d_k + 1) - 1 with d = 2 everywhere for cycles
+        law = degrees_full_loops(degrees(cycle(4)), degrees(cycle(5)))
+        assert np.all(law == 8)
+
+
+class TestEdgeCountLaws:
+    def test_no_loops(self, er_a, er_b):
+        law = edge_count_no_loops(
+            er_a.num_undirected_edges, er_b.num_undirected_edges
+        )
+        assert law == kron_product(er_a, er_b).num_undirected_edges
+
+    def test_full_loops(self, er_a, er_b):
+        law = edge_count_full_loops(
+            er_a.num_undirected_edges, er_a.n,
+            er_b.num_undirected_edges, er_b.n,
+        )
+        assert law == kron_with_full_loops(er_a, er_b).num_undirected_edges
+
+    def test_vertex_count(self):
+        assert vertex_count(6_300, 6_300) == 39_690_000  # paper's "40M"
+
+
+class TestDegreeHistogramProduct:
+    def test_matches_materialized(self, er_a, er_b):
+        hist = degree_histogram_product(degrees(er_a), degrees(er_b))
+        direct = degrees(kron_product(er_a, er_b))
+        expect = {int(v): int(c) for v, c in zip(*np.unique(direct, return_counts=True))}
+        assert hist == expect
+
+    def test_total_is_n_product(self):
+        hist = degree_histogram_product(degrees(clique(4)), degrees(star(5)))
+        assert sum(hist.values()) == 4 * 5
+
+    def test_no_large_prime_degrees(self):
+        """The paper's artifact: every product degree factors over factor degrees."""
+        d_a = degrees(erdos_renyi(20, 0.4, seed=3))
+        d_b = degrees(erdos_renyi(20, 0.4, seed=4))
+        hist = degree_histogram_product(d_a, d_b)
+        factor_degrees = set(d_a.tolist()) | set(d_b.tolist())
+        for deg in hist:
+            if deg > max(factor_degrees):
+                # must be composite over the factor degree sets
+                assert any(
+                    x != 0 and deg % x == 0 and deg // x in set(d_b.tolist())
+                    for x in set(d_a.tolist())
+                )
+
+    def test_empty_rejected(self):
+        with pytest.raises(AssumptionError):
+            degree_histogram_product(np.array([]), np.array([1]))

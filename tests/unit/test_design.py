@@ -1,0 +1,152 @@
+"""Unit tests for repro.design (diameter control + artifact metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import degrees, diameter, eccentricities
+from repro.design import (
+    attainable_degrees,
+    compare_degree_artifacts,
+    design_controlled_diameter,
+    diameter_backbone,
+    distribution_hole_fraction,
+    eccentricity_profile_factor,
+    missing_primes,
+    tie_statistics,
+)
+from repro.errors import AssumptionError
+from repro.graph import clique, cycle, erdos_renyi
+from tests.conftest import random_connected_factor
+
+
+class TestDiameterBackbone:
+    @pytest.mark.parametrize("d", [1, 2, 5, 9])
+    def test_path_backbone_diameter(self, d):
+        g = diameter_backbone(d)
+        assert g.has_full_self_loops()
+        assert diameter(g) == d
+
+    @pytest.mark.parametrize("d,w", [(3, 2), (4, 3)])
+    def test_thick_backbone_diameter(self, d, w):
+        g = diameter_backbone(d, width=w)
+        assert g.n == (d + 1) * w
+        assert diameter(g) == d
+
+    def test_thick_backbone_degrees(self):
+        g = diameter_backbone(4, width=3)
+        d = degrees(g)
+        # interior super-node vertex: (w-1) intra + 2w inter = 3w - 1
+        assert d.max() == 3 * 3 - 1
+
+    def test_bad_args(self):
+        with pytest.raises(AssumptionError):
+            diameter_backbone(0)
+        with pytest.raises(AssumptionError):
+            diameter_backbone(3, width=0)
+
+    def test_eccentricity_profile_sweeps(self):
+        g = eccentricity_profile_factor(8)
+        ecc = eccentricities(g)
+        assert ecc.max() == 8
+        assert ecc.min() == 4  # ceil(8/2)
+        assert set(np.unique(ecc)) == {4, 5, 6, 7, 8}
+
+
+class TestDesignControlledDiameter:
+    def test_product_diameter_in_interval(self):
+        b = random_connected_factor(8, seed=401)
+        design = design_controlled_diameter(b, target_diameter=7)
+        assert (design.diameter_lower, design.diameter_upper) == (7, 8)
+        got = diameter(design.materialize())
+        assert 7 <= got <= 8
+
+    def test_target_below_base_rejected(self):
+        from repro.graph import path
+
+        b = path(10)  # diameter 9
+        with pytest.raises(AssumptionError):
+            design_controlled_diameter(b, target_diameter=3)
+
+    def test_directed_base_rejected(self):
+        from repro.graph import EdgeList
+
+        b = EdgeList.from_pairs([(0, 1)], n=2)
+        with pytest.raises(AssumptionError):
+            design_controlled_diameter(b, target_diameter=4)
+
+    def test_size_accounting(self):
+        b = clique(5)
+        design = design_controlled_diameter(b, 6, backbone_width=2)
+        assert design.n == design.factor_a.n * 5
+
+
+class TestArtifactMetrics:
+    def test_attainable_degrees_products_only(self):
+        att = attainable_degrees(np.array([2, 3]), np.array([5]))
+        assert np.array_equal(att, [10, 15])
+
+    def test_missing_primes_basic(self):
+        # degrees {2,3} x {2,3} -> attainable {4,6,9}; primes 5 and 7 missing
+        mp = missing_primes(np.array([2, 3]), np.array([2, 3]))
+        assert 5 in mp and 7 in mp
+        assert 2 in mp and 3 in mp  # also unattainable (no degree-1 factor)
+
+    def test_primes_attainable_with_degree_one(self):
+        mp = missing_primes(np.array([1, 7]), np.array([1, 7]))
+        assert 7 not in mp
+
+    def test_hole_fraction_range(self):
+        d = degrees(erdos_renyi(30, 0.3, seed=405))
+        h = distribution_hole_fraction(d, d)
+        assert 0.0 <= h < 1.0
+
+    def test_hole_fraction_degenerate(self):
+        assert distribution_hole_fraction(np.array([3]), np.array([3])) == 0.0
+
+    def test_tie_statistics(self):
+        stats = tie_statistics(np.array([1, 1, 1, 2, 5, 5]))
+        assert stats.max_tie == 3
+        assert stats.max_tie_degree == 1
+        assert stats.num_values == 3
+
+    def test_tie_statistics_empty_rejected(self):
+        with pytest.raises(AssumptionError):
+            tie_statistics(np.array([]))
+
+    def test_compare_reports_labels(self):
+        d = np.array([1, 2, 2, 3])
+        reports = compare_degree_artifacts({"x": d, "y": d * 2})
+        assert [r.label for r in reports] == ["x", "y"]
+        assert all("n=" in r.to_text() for r in reports)
+
+
+class TestAblations:
+    def test_exploit_ablation_story(self):
+        from repro.experiments import run_ablation_exploit
+
+        r = run_ablation_exploit(factor_n=16)
+        by_nu = {p.nu: p for p in r.points}
+        # exact on the pure product (up to eigensolve roundoff)
+        assert by_nu[1.0].naive_rel_err < 1e-9
+        # blind exploit degrades roughly like 1 - nu^3
+        assert by_nu[0.90].naive_rel_err > 0.15
+        # informed exploit stays accurate (the paper's caveat)
+        assert by_nu[0.90].informed_rel_err < 0.08
+
+    def test_artifact_ablation_story(self):
+        from repro.experiments import run_ablation_artifacts
+
+        r = run_ablation_artifacts(factor_n=60, seed=7)
+        kron = r.report_by_label("kronecker")
+        rej = r.report_by_label("rejected 0.95")
+        # rejection recovers degree diversity
+        assert rej.distinct_degrees > kron.distinct_degrees
+        # missing primes exist in the product's degree range
+        assert r.num_missing_primes > 0
+
+    def test_artifact_lookup_error(self):
+        from repro.experiments import run_ablation_artifacts
+
+        r = run_ablation_artifacts(factor_n=40, seed=8)
+        with pytest.raises(KeyError):
+            r.report_by_label("nope")

@@ -1,0 +1,122 @@
+"""Unit tests for directed-graph ground truth (groundtruth.directed)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AssumptionError
+from repro.graph import EdgeList, directed_cycle, directed_erdos_renyi
+from repro.groundtruth.directed import (
+    directed_eccentricities,
+    directed_hop_matrix,
+    in_degrees,
+    in_degrees_product,
+    out_degrees,
+    out_degrees_product,
+)
+from repro.kronecker import kron_product
+
+
+def strongly_connected_digraph(n: int, p: float, seed: int) -> EdgeList:
+    """Directed ER plus a directed Hamilton cycle (forces strong connectivity)."""
+    er = directed_erdos_renyi(n, p, seed=seed)
+    cyc = directed_cycle(n)
+    return er.concatenated(cyc).deduplicate()
+
+
+class TestDirectedGenerators:
+    def test_directed_cycle_shape(self):
+        g = directed_cycle(5)
+        assert g.m_directed == 5
+        assert not g.is_symmetric()
+
+    def test_directed_cycle_too_small(self):
+        from repro.errors import GraphFormatError
+
+        with pytest.raises(GraphFormatError):
+            directed_cycle(1)
+
+    def test_directed_er_reproducible_and_loopless(self):
+        a = directed_erdos_renyi(20, 0.2, seed=3)
+        b = directed_erdos_renyi(20, 0.2, seed=3)
+        assert a == b
+        assert a.has_no_self_loops()
+
+    def test_directed_er_density(self):
+        g = directed_erdos_renyi(100, 0.1, seed=5)
+        assert abs(g.m_directed / (100 * 99) - 0.1) < 0.02
+
+
+class TestDirectedDegrees:
+    def test_out_in_basic(self):
+        g = EdgeList.from_pairs([(0, 1), (0, 2), (2, 0)], n=3)
+        assert np.array_equal(out_degrees(g), [2, 0, 1])
+        assert np.array_equal(in_degrees(g), [1, 1, 1])
+
+    def test_loops_excluded_by_default(self):
+        g = EdgeList.from_pairs([(0, 0), (0, 1)], n=2)
+        assert np.array_equal(out_degrees(g), [1, 0])
+        assert np.array_equal(out_degrees(g, include_loops=True), [2, 0])
+        assert np.array_equal(in_degrees(g), [0, 1])
+
+    def test_degree_laws_on_directed_product(self):
+        a = directed_erdos_renyi(8, 0.3, seed=11)
+        b = directed_erdos_renyi(7, 0.35, seed=12)
+        c = kron_product(a, b)
+        assert np.array_equal(
+            out_degrees_product(out_degrees(a), out_degrees(b)), out_degrees(c)
+        )
+        assert np.array_equal(
+            in_degrees_product(in_degrees(a), in_degrees(b)), in_degrees(c)
+        )
+
+
+class TestDirectedDistanceLaws:
+    """Thm. 3 / Cor. 4 applied to directed factors with full self loops."""
+
+    @pytest.fixture
+    def factors(self):
+        a = strongly_connected_digraph(6, 0.25, seed=21).with_full_self_loops()
+        b = strongly_connected_digraph(5, 0.3, seed=22).with_full_self_loops()
+        return a, b
+
+    def test_hop_matrix_asymmetric_in_general(self):
+        g = directed_cycle(4).with_full_self_loops()
+        h = directed_hop_matrix(g)
+        assert h[0, 3] == 3 and h[3, 0] == 1  # one-way ring
+
+    def test_selfloop_convention_diagonal(self, factors):
+        a, _ = factors
+        h = directed_hop_matrix(a)
+        assert np.all(np.diag(h) == 1)
+
+    def test_thm3_max_composition(self, factors):
+        a, b = factors
+        c = kron_product(a, b)
+        h_a = directed_hop_matrix(a)
+        h_b = directed_hop_matrix(b)
+        h_c = directed_hop_matrix(c)
+        n_b = b.n
+        p = np.repeat(np.arange(c.n), c.n)
+        q = np.tile(np.arange(c.n), c.n)
+        law = np.maximum(h_a[p // n_b, q // n_b], h_b[p % n_b, q % n_b])
+        assert np.array_equal(law, h_c.ravel())
+
+    def test_cor4_directed_eccentricity(self, factors):
+        a, b = factors
+        c = kron_product(a, b)
+        ecc_a = directed_eccentricities(a)
+        ecc_b = directed_eccentricities(b)
+        law = np.maximum(ecc_a[:, None], ecc_b[None, :]).ravel()
+        assert np.array_equal(law, directed_eccentricities(c))
+
+    def test_eccentricity_requires_strong_connectivity(self):
+        g = EdgeList.from_pairs([(0, 1)], n=2).with_full_self_loops()
+        with pytest.raises(AssumptionError):
+            directed_eccentricities(g)
+
+    def test_directed_cycle_product_diameter(self):
+        # diam of directed n-cycle (with loops) is n-1; max-law composes
+        a = directed_cycle(6).with_full_self_loops()
+        b = directed_cycle(4).with_full_self_loops()
+        c = kron_product(a, b)
+        assert directed_eccentricities(c).max() == 5

@@ -1,0 +1,134 @@
+"""Unit tests for repro.groundtruth.distance and eccentricity (Section V)."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import eccentricities, hop_matrix, diameter
+from repro.analytics.bfs import UNREACHABLE
+from repro.graph import clique, cycle, disjoint_cliques, erdos_renyi, path, star
+from repro.groundtruth.distance import (
+    diameter_bounds_mixed,
+    diameter_product,
+    hops_bounds_mixed,
+    hops_product,
+    hops_product_matrix,
+)
+from repro.groundtruth.eccentricity import (
+    eccentricity_histogram_product,
+    eccentricity_product,
+    eccentricity_product_all,
+)
+from repro.kronecker import kron_product
+from tests.conftest import random_connected_factor
+
+
+@pytest.fixture
+def loop_factors():
+    a = random_connected_factor(9, seed=81).with_full_self_loops()
+    b = random_connected_factor(7, seed=82).with_full_self_loops()
+    return a, b
+
+
+class TestThm3Hops:
+    def test_full_matrix_matches_direct(self, loop_factors):
+        a, b = loop_factors
+        c = kron_product(a, b)
+        h_a = hop_matrix(a)
+        h_b = hop_matrix(b)
+        h_c = hop_matrix(c)
+        n_b = b.n
+        for p in range(c.n):
+            i, k = divmod(p, n_b)
+            law_row = hops_product_matrix(h_a[i], h_b[k])
+            assert np.array_equal(law_row, h_c[p])
+
+    def test_elementwise_composition(self):
+        h_a = np.array([1, 2, 3])
+        h_b = np.array([3, 1, 2])
+        assert np.array_equal(hops_product(h_a, h_b), [3, 2, 3])
+
+    def test_unreachable_propagates(self):
+        h_a = np.array([1, UNREACHABLE])
+        h_b = np.array([2, 3])
+        out = hops_product(h_a, h_b)
+        assert out[0] == 2 and out[1] == UNREACHABLE
+
+    def test_diameter_law(self, loop_factors):
+        a, b = loop_factors
+        c = kron_product(a, b)
+        assert diameter_product(diameter(a), diameter(b)) == diameter(c)
+
+    def test_path_times_path_diameter(self):
+        a = path(6).with_full_self_loops()
+        b = path(3).with_full_self_loops()
+        c = kron_product(a, b)
+        assert diameter(c) == 5  # max(5, 2)
+
+
+class TestThm5MixedBounds:
+    def test_bounds_bracket_truth(self):
+        # A with full loops, B undirected without loops; all hops per Def. 9
+        from repro.analytics import hop_matrix_def9
+
+        a = path(5).with_full_self_loops()
+        b = cycle(6)  # no loops
+        c = kron_product(a, b)
+        h_a = hop_matrix_def9(a)
+        h_b = hop_matrix_def9(b)
+        h_c = hop_matrix_def9(c)
+        n_b = b.n
+        i = np.repeat(np.arange(c.n) // n_b, c.n)
+        k = np.repeat(np.arange(c.n) % n_b, c.n)
+        j = np.tile(np.arange(c.n) // n_b, c.n)
+        l = np.tile(np.arange(c.n) % n_b, c.n)
+        lo, hi = hops_bounds_mixed(h_a[i, j], h_b[k, l])
+        truth = h_c.ravel()
+        ok = (truth != UNREACHABLE) & (lo != UNREACHABLE)
+        assert np.all(lo[ok] <= truth[ok])
+        assert np.all(truth[ok] <= hi[ok])
+
+    def test_diameter_bounds(self):
+        a = path(5).with_full_self_loops()
+        b = cycle(6)
+        c = kron_product(a, b)
+        lo, hi = diameter_bounds_mixed(diameter(a), diameter(b))
+        assert lo <= diameter(c) <= hi
+
+    def test_controlled_diameter_construction(self):
+        """Cor. 5 use case: big-diameter A forces big product diameter."""
+        a = path(12).with_full_self_loops()  # diam 11
+        b = random_connected_factor(8, seed=83)  # small-world, no loops
+        c = kron_product(a, b)
+        d = diameter(c)
+        assert 11 <= d <= 12
+
+
+class TestCor4Eccentricity:
+    def test_matches_direct(self, loop_factors):
+        a, b = loop_factors
+        c = kron_product(a, b)
+        law = eccentricity_product_all(eccentricities(a), eccentricities(b))
+        assert np.array_equal(law, eccentricities(c))
+
+    def test_scalar_composition(self):
+        assert eccentricity_product(3, 5) == 5
+        assert np.array_equal(
+            eccentricity_product(np.array([1, 4]), np.array([2, 2])), [2, 4]
+        )
+
+    def test_histogram_matches_full_vector(self, loop_factors):
+        a, b = loop_factors
+        e_a = eccentricities(a)
+        e_b = eccentricities(b)
+        hist = eccentricity_histogram_product(e_a, e_b)
+        full = eccentricity_product_all(e_a, e_b)
+        uniq, cnt = np.unique(full, return_counts=True)
+        assert hist == {int(u): int(c) for u, c in zip(uniq, cnt)}
+
+    def test_histogram_total(self, loop_factors):
+        a, b = loop_factors
+        hist = eccentricity_histogram_product(eccentricities(a), eccentricities(b))
+        assert sum(hist.values()) == a.n * b.n
+
+    def test_histogram_empty(self):
+        assert eccentricity_histogram_product(np.array([]), np.array([1])) == {}

@@ -1,0 +1,126 @@
+"""Unit tests for repro.analytics.distances and eccentricity."""
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.analytics import (
+    closeness_centralities,
+    closeness_from_hops,
+    diameter,
+    eccentricities,
+    hop_matrix,
+    pruned_eccentricities,
+)
+from repro.errors import AssumptionError
+from repro.graph import EdgeList, clique, cycle, disjoint_cliques, erdos_renyi, path, star
+from tests.conftest import random_connected_factor
+
+
+class TestHopMatrix:
+    def test_symmetric_for_undirected(self):
+        h = hop_matrix(cycle(6))
+        assert np.array_equal(h, h.T)
+
+    def test_selfloop_convention_diagonal(self):
+        h = hop_matrix(cycle(4).with_full_self_loops())
+        assert np.all(np.diag(h) == 1)
+
+    def test_plain_diagonal_zero(self):
+        h = hop_matrix(cycle(4), selfloop_convention=False)
+        assert np.all(np.diag(h) == 0)
+
+    def test_unreachable_marked(self):
+        h = hop_matrix(disjoint_cliques(2, 3))
+        assert h[0, 3] == -1
+
+
+class TestEccentricities:
+    def test_path(self):
+        assert np.array_equal(eccentricities(path(5)), [4, 3, 2, 3, 4])
+
+    def test_star(self):
+        ecc = eccentricities(star(6))
+        assert ecc[0] == 1 and np.all(ecc[1:] == 2)
+
+    def test_clique(self):
+        assert np.all(eccentricities(clique(5)) == 1)
+
+    def test_disconnected_raises(self):
+        with pytest.raises(AssumptionError):
+            eccentricities(disjoint_cliques(2, 3))
+
+    def test_matches_networkx(self):
+        g = random_connected_factor(40, seed=31)
+        ours = eccentricities(g, selfloop_convention=False)
+        theirs = nx.eccentricity(g.to_networkx())
+        assert np.array_equal(ours, [theirs[v] for v in range(g.n)])
+
+    def test_diameter(self):
+        assert diameter(path(7)) == 6
+        assert diameter(clique(4)) == 1
+
+
+class TestPrunedEccentricities:
+    def test_matches_direct_on_many_graphs(self):
+        for seed in (1, 2, 3):
+            g = random_connected_factor(35, seed=seed * 100)
+            direct = eccentricities(g, selfloop_convention=False)
+            pruned = pruned_eccentricities(g)
+            assert np.array_equal(pruned.eccentricities, direct)
+
+    def test_prunes_on_scale_free(self):
+        # pruning needs eccentricity spread to bite (on diameter-2 graphs it
+        # legitimately degenerates to one BFS per vertex)
+        from repro.graph import gnutella_like
+
+        g = gnutella_like(n=400, with_self_loops=False)
+        result = pruned_eccentricities(g)
+        assert result.num_bfs < g.n / 2
+
+    def test_diameter_radius(self):
+        res = pruned_eccentricities(path(9))
+        assert res.diameter == 8 and res.radius == 4
+
+    def test_single_vertex(self):
+        el = EdgeList(np.empty((0, 2)), n=1)
+        assert pruned_eccentricities(el).eccentricities[0] == 0
+        loop = EdgeList.from_pairs([(0, 0)], n=1)
+        assert pruned_eccentricities(loop).eccentricities[0] == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(AssumptionError):
+            pruned_eccentricities(EdgeList(np.empty((0, 2)), n=0))
+
+    def test_disconnected_raises(self):
+        with pytest.raises(AssumptionError):
+            pruned_eccentricities(disjoint_cliques(2, 3))
+
+
+class TestCloseness:
+    def test_from_hops_excludes_nonpositive(self):
+        hops = np.array([0, 1, 2, -1])
+        assert closeness_from_hops(hops) == pytest.approx(1.0 + 0.5)
+
+    def test_clique_value(self):
+        # plain clique: each vertex sees n-1 others at hop 1, itself at 0
+        z = closeness_centralities(clique(5), selfloop_convention=False)
+        assert np.allclose(z, 4.0)
+
+    def test_selfloop_convention_adds_one(self):
+        plain = closeness_centralities(clique(5), selfloop_convention=False)
+        conv = closeness_centralities(
+            clique(5).with_full_self_loops(), selfloop_convention=True
+        )
+        assert np.allclose(conv, plain + 1.0)
+
+    def test_path_endpoint(self):
+        z = closeness_centralities(path(4), selfloop_convention=False)
+        assert z[0] == pytest.approx(1 + 0.5 + 1 / 3)
+
+    def test_matches_harmonic_centrality(self):
+        # paper's Def. 12 is (unnormalized) harmonic centrality
+        g = random_connected_factor(30, seed=55)
+        ours = closeness_centralities(g, selfloop_convention=False)
+        theirs = nx.harmonic_centrality(g.to_networkx())
+        assert np.allclose(ours, [theirs[v] for v in range(g.n)])

@@ -1,0 +1,121 @@
+"""Edge-case and fallback-path tests across modules."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import hop_matrix, hop_matrix_def9
+from repro.analytics.bfs import UNREACHABLE
+from repro.graph import EdgeList, clique, cycle, path
+from repro.graph.edgelist import _MAX_KEYABLE_N, _sorted_unique
+from repro.kronecker import kron_product
+
+
+class TestHopMatrixDef9:
+    def test_diagonal_without_loops_is_two(self):
+        h = hop_matrix_def9(cycle(5))
+        assert np.all(np.diag(h) == 2)
+
+    def test_diagonal_with_loops_is_one(self):
+        h = hop_matrix_def9(cycle(5).with_full_self_loops())
+        assert np.all(np.diag(h) == 1)
+
+    def test_isolated_vertex_diagonal_unreachable(self):
+        el = EdgeList.from_pairs([(0, 1), (1, 0)], n=3)
+        h = hop_matrix_def9(el)
+        assert h[2, 2] == UNREACHABLE
+
+    def test_off_diagonal_matches_bfs(self):
+        g = clique(5)
+        d9 = hop_matrix_def9(g)
+        plain = hop_matrix(g, selfloop_convention=False)
+        off = ~np.eye(5, dtype=bool)
+        assert np.array_equal(d9[off], plain[off])
+
+    def test_matches_walk_semantics_bruteforce(self):
+        """Def. 9 via explicit matrix powers on a small graph."""
+        g = path(4)
+        h9 = hop_matrix_def9(g)
+        adj = g.to_scipy_sparse().toarray()
+        power = np.eye(4)
+        brute = np.full((4, 4), UNREACHABLE, dtype=np.int64)
+        for h in range(1, 10):
+            power = power @ adj
+            newly = (power > 0) & (brute == UNREACHABLE)
+            brute[newly] = h
+        assert np.array_equal(h9, brute)
+
+    def test_full_loops_agrees_with_hop_matrix(self):
+        g = cycle(6).with_full_self_loops()
+        assert np.array_equal(hop_matrix_def9(g), hop_matrix(g))
+
+
+class TestLargeIdFallback:
+    """EdgeList normalization when n*n would overflow the scalar key."""
+
+    def test_sorted_unique_fallback(self):
+        big_n = _MAX_KEYABLE_N + 10
+        edges = np.array(
+            [[big_n - 1, 0], [0, big_n - 1], [big_n - 1, 0]], dtype=np.int64
+        )
+        out = _sorted_unique(edges, big_n)
+        assert len(out) == 2
+        assert {tuple(e) for e in out} == {(big_n - 1, 0), (0, big_n - 1)}
+
+    def test_edgelist_ops_with_huge_n(self):
+        big_n = _MAX_KEYABLE_N + 10
+        el = EdgeList(
+            np.array([[0, 5], [5, 0], [0, 5]], dtype=np.int64), n=big_n
+        )
+        assert el.deduplicate().m_directed == 2
+        assert el.is_symmetric()
+
+
+class TestDegenerateGraphs:
+    def test_single_vertex_product(self):
+        one = EdgeList(np.empty((0, 2)), n=1)
+        c = kron_product(one, clique(3))
+        assert c.n == 3 and c.m_directed == 0
+
+    def test_single_loop_vertex_product(self):
+        loop = EdgeList.from_pairs([(0, 0)], n=1)
+        c = kron_product(loop, clique(3))
+        assert c == clique(3)  # I_1 (x) B = B
+
+    def test_loop_only_factors(self):
+        a = EdgeList.from_pairs([(0, 0), (1, 1)], n=2)
+        b = EdgeList.from_pairs([(0, 0)], n=1)
+        c = kron_product(a, b)
+        assert c.num_self_loops == 2 and c.m_directed == 2
+
+    def test_product_with_isolated_vertices(self):
+        a = EdgeList.from_pairs([(0, 1), (1, 0)], n=4)  # 2 isolated
+        b = cycle(3)
+        c = kron_product(a, b)
+        assert c.n == 12
+        from repro.analytics import degrees
+
+        d = degrees(c)
+        assert np.all(d[6:] == 0)  # blocks of isolated A-vertices
+
+
+class TestCommunicatorEdgeCases:
+    def test_allreduce_noncommutative_order(self):
+        """allreduce folds in rank order (documented semantics)."""
+        from repro.distributed import spmd_run
+
+        def fn(comm):
+            return comm.allreduce(str(comm.rank), lambda a, b: a + b)
+
+        assert spmd_run(fn, 3) == ["012"] * 3
+
+    def test_nested_collectives_sequence(self):
+        from repro.distributed import spmd_run
+
+        def fn(comm):
+            x = comm.bcast(10 if comm.rank == 0 else None)
+            y = comm.allreduce(x + comm.rank, lambda a, b: a + b)
+            comm.barrier()
+            return y
+
+        out = spmd_run(fn, 4)
+        assert out == [4 * 10 + 0 + 1 + 2 + 3] * 4

@@ -1,0 +1,175 @@
+"""Unit tests for repro.graph.edgelist.EdgeList."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import EdgeList, clique, cycle
+
+
+class TestConstruction:
+    def test_infers_n(self):
+        el = EdgeList.from_pairs([(0, 3), (3, 0)])
+        assert el.n == 4
+
+    def test_explicit_n_allows_isolated(self):
+        el = EdgeList.from_pairs([(0, 1)], n=10)
+        assert el.n == 10
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphFormatError):
+            EdgeList.from_pairs([(0, 5)], n=3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphFormatError):
+            EdgeList(np.array([[-1, 0]]))
+
+    def test_empty(self):
+        el = EdgeList(np.empty((0, 2)), n=0)
+        assert el.n == 0 and len(el) == 0
+
+
+class TestCounts:
+    def test_m_directed_counts_rows(self):
+        el = EdgeList.from_pairs([(0, 1), (1, 0), (2, 2)])
+        assert el.m_directed == 3
+
+    def test_self_loop_count(self):
+        el = EdgeList.from_pairs([(0, 0), (1, 1), (0, 1)])
+        assert el.num_self_loops == 2
+
+    def test_undirected_edge_count(self):
+        el = EdgeList.from_pairs([(0, 1), (1, 0), (1, 2), (2, 1), (0, 0)])
+        assert el.num_undirected_edges == 2
+
+    def test_clique_counts(self):
+        k5 = clique(5)
+        assert k5.m_directed == 20
+        assert k5.num_undirected_edges == 10
+
+
+class TestPredicates:
+    def test_symmetric_true(self):
+        assert cycle(4).is_symmetric()
+
+    def test_symmetric_false(self):
+        assert not EdgeList.from_pairs([(0, 1)]).is_symmetric()
+
+    def test_symmetric_with_loop(self):
+        assert EdgeList.from_pairs([(0, 0), (0, 1), (1, 0)]).is_symmetric()
+
+    def test_full_self_loops(self):
+        el = EdgeList.from_pairs([(0, 0), (1, 1)], n=2)
+        assert el.has_full_self_loops()
+        assert not EdgeList.from_pairs([(0, 0)], n=2).has_full_self_loops()
+
+    def test_no_self_loops(self):
+        assert cycle(3).has_no_self_loops()
+        assert not EdgeList.from_pairs([(0, 0)]).has_no_self_loops()
+
+    def test_duplicates(self):
+        assert EdgeList.from_pairs([(0, 1), (0, 1)]).has_duplicates()
+        assert not EdgeList.from_pairs([(0, 1), (1, 0)]).has_duplicates()
+
+
+class TestTransforms:
+    def test_deduplicate(self):
+        el = EdgeList.from_pairs([(0, 1), (0, 1), (1, 0)])
+        assert el.deduplicate().m_directed == 2
+
+    def test_symmetrized_adds_reverses(self):
+        el = EdgeList.from_pairs([(0, 1), (2, 1)])
+        sym = el.symmetrized()
+        assert sym.is_symmetric()
+        assert sym.m_directed == 4
+
+    def test_symmetrized_keeps_loops_once(self):
+        el = EdgeList.from_pairs([(0, 0), (0, 1)])
+        sym = el.symmetrized()
+        assert sym.num_self_loops == 1
+
+    def test_with_full_self_loops(self):
+        el = cycle(4).with_full_self_loops()
+        assert el.has_full_self_loops()
+        assert el.num_undirected_edges == 4
+
+    def test_with_full_self_loops_idempotent(self):
+        el = cycle(4).with_full_self_loops().with_full_self_loops()
+        assert el.num_self_loops == 4
+
+    def test_without_self_loops(self):
+        el = EdgeList.from_pairs([(0, 0), (0, 1), (1, 0)])
+        assert el.without_self_loops().num_self_loops == 0
+        assert el.without_self_loops().m_directed == 2
+
+    def test_relabeled(self):
+        el = EdgeList.from_pairs([(0, 1), (1, 0)], n=2)
+        out = el.relabeled(np.array([5, 3]))
+        assert out.n == 6
+        assert {tuple(e) for e in out.edges} == {(5, 3), (3, 5)}
+
+    def test_relabeled_bad_shape(self):
+        with pytest.raises(GraphFormatError):
+            EdgeList.from_pairs([(0, 1)], n=2).relabeled(np.array([0]))
+
+    def test_induced_subgraph(self):
+        k4 = clique(4)
+        sub = k4.induced_subgraph(np.array([1, 3]))
+        assert sub.n == 2
+        assert sub.num_undirected_edges == 1
+
+    def test_induced_subgraph_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            clique(3).induced_subgraph(np.array([5]))
+
+    def test_concatenated(self):
+        a = EdgeList.from_pairs([(0, 1)], n=3)
+        b = EdgeList.from_pairs([(1, 2)], n=3)
+        assert a.concatenated(b).m_directed == 2
+
+    def test_concatenated_n_mismatch(self):
+        a = EdgeList.from_pairs([(0, 1)], n=2)
+        b = EdgeList.from_pairs([(0, 1)], n=3)
+        with pytest.raises(GraphFormatError):
+            a.concatenated(b)
+
+
+class TestEquality:
+    def test_order_insensitive(self):
+        a = EdgeList.from_pairs([(0, 1), (1, 2)], n=3)
+        b = EdgeList.from_pairs([(1, 2), (0, 1)], n=3)
+        assert a == b
+
+    def test_n_sensitive(self):
+        a = EdgeList.from_pairs([(0, 1)], n=2)
+        b = EdgeList.from_pairs([(0, 1)], n=3)
+        assert a != b
+
+    def test_content_sensitive(self):
+        a = EdgeList.from_pairs([(0, 1)], n=3)
+        b = EdgeList.from_pairs([(0, 2)], n=3)
+        assert a != b
+
+
+class TestConversions:
+    def test_scipy_round_trip(self):
+        el = cycle(5)
+        back = EdgeList.from_scipy_sparse(el.to_scipy_sparse())
+        assert back == el
+
+    def test_scipy_collapses_duplicates(self):
+        el = EdgeList.from_pairs([(0, 1), (0, 1)], n=2)
+        mat = el.to_scipy_sparse()
+        assert mat[0, 1] == 1.0
+
+    def test_scipy_rejects_rectangular(self):
+        from scipy import sparse
+
+        with pytest.raises(GraphFormatError):
+            EdgeList.from_scipy_sparse(sparse.csr_matrix((2, 3)))
+
+    def test_networkx_matches(self):
+        el = clique(4)
+        g = el.to_networkx()
+        assert g.number_of_nodes() == 4
+        assert g.number_of_edges() == 6

@@ -1,0 +1,136 @@
+"""Unit tests for repro.graph.generators."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import degrees, global_triangles, is_connected
+from repro.errors import GraphFormatError
+from repro.graph import (
+    chung_lu,
+    clique,
+    cycle,
+    disjoint_cliques,
+    empty_graph,
+    erdos_renyi,
+    grid_2d,
+    path,
+    rmat,
+    star,
+    stochastic_block_model,
+)
+
+
+class TestDeterministicFamilies:
+    def test_empty(self):
+        g = empty_graph(5)
+        assert g.n == 5 and g.m_directed == 0
+
+    def test_clique_structure(self):
+        k = clique(5)
+        assert k.n == 5
+        assert k.num_undirected_edges == 10
+        assert np.all(degrees(k) == 4)
+        assert global_triangles(k) == 10
+
+    def test_clique_of_one(self):
+        assert clique(1).m_directed == 0
+
+    def test_cycle(self):
+        c = cycle(6)
+        assert c.num_undirected_edges == 6
+        assert np.all(degrees(c) == 2)
+        assert global_triangles(c) == 0
+
+    def test_cycle_three_is_triangle(self):
+        assert global_triangles(cycle(3)) == 1
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphFormatError):
+            cycle(2)
+
+    def test_path(self):
+        p = path(5)
+        assert p.num_undirected_edges == 4
+        d = degrees(p)
+        assert d[0] == 1 and d[-1] == 1 and np.all(d[1:-1] == 2)
+
+    def test_star(self):
+        s = star(7)
+        assert s.num_undirected_edges == 6
+        assert degrees(s)[0] == 6
+
+    def test_grid(self):
+        g = grid_2d(3, 4)
+        assert g.n == 12
+        assert g.num_undirected_edges == 3 * 3 + 2 * 4  # horiz + vert
+
+    def test_disjoint_cliques(self):
+        g = disjoint_cliques(3, 4)
+        assert g.n == 12
+        assert g.num_undirected_edges == 3 * 6
+        assert global_triangles(g) == 3 * 4
+
+    def test_all_symmetric_no_loops(self):
+        for g in (clique(4), cycle(5), path(4), star(5), grid_2d(2, 3),
+                  disjoint_cliques(2, 3)):
+            assert g.is_symmetric()
+            assert g.has_no_self_loops()
+
+
+class TestRandomFamilies:
+    def test_er_seeded_reproducible(self):
+        a = erdos_renyi(20, 0.3, seed=5)
+        b = erdos_renyi(20, 0.3, seed=5)
+        assert a == b
+
+    def test_er_extremes(self):
+        assert erdos_renyi(10, 0.0, seed=1).m_directed == 0
+        assert erdos_renyi(10, 1.0, seed=1) == clique(10)
+
+    def test_er_density_near_p(self):
+        g = erdos_renyi(200, 0.1, seed=7)
+        possible = 200 * 199 / 2
+        assert abs(g.num_undirected_edges / possible - 0.1) < 0.02
+
+    def test_sbm_block_structure(self):
+        g = stochastic_block_model([20, 20], 0.9, 0.02, seed=11)
+        inside = np.sum((g.src < 20) == (g.dst < 20))
+        assert inside > 0.8 * g.m_directed
+
+    def test_sbm_bad_sizes(self):
+        with pytest.raises(GraphFormatError):
+            stochastic_block_model([], 0.5, 0.1)
+        with pytest.raises(GraphFormatError):
+            stochastic_block_model([0, 3], 0.5, 0.1)
+
+    def test_chung_lu_expected_degrees(self):
+        w = np.full(300, 8.0)
+        g = chung_lu(w, seed=13)
+        assert abs(degrees(g).mean() - 8.0) < 1.0
+
+    def test_chung_lu_zero_weights(self):
+        g = chung_lu(np.zeros(5))
+        assert g.m_directed == 0
+
+    def test_chung_lu_negative_rejected(self):
+        with pytest.raises(GraphFormatError):
+            chung_lu(np.array([-1.0, 2.0]))
+
+    def test_rmat_shape(self):
+        g = rmat(scale=6, edge_factor=8, seed=17)
+        assert g.n == 64
+        assert g.is_symmetric()
+        assert g.has_no_self_loops()
+
+    def test_rmat_skew_concentrates_low_ids(self):
+        g = rmat(scale=8, edge_factor=16, seed=19)
+        d = degrees(g)
+        # quadrant weights bias mass toward low vertex ids
+        assert d[: g.n // 2].sum() > d[g.n // 2 :].sum()
+
+    def test_rmat_bad_probs(self):
+        with pytest.raises(ValueError):
+            rmat(scale=4, a=0.5, b=0.4, c=0.3)
+
+    def test_rmat_seeded_reproducible(self):
+        assert rmat(5, seed=3) == rmat(5, seed=3)

@@ -1,0 +1,107 @@
+"""Unit tests for repro.util.hashing."""
+
+import numpy as np
+import pytest
+
+from repro.util.hashing import EdgeHasher, edge_uniform, hash_pair, splitmix64
+
+
+class TestSplitmix64:
+    def test_deterministic(self):
+        x = np.arange(100, dtype=np.uint64)
+        assert np.array_equal(splitmix64(x), splitmix64(x))
+
+    def test_scalar_input(self):
+        a = splitmix64(42)
+        b = splitmix64(np.uint64(42))
+        assert a == b
+
+    def test_distinct_inputs_distinct_outputs(self):
+        x = np.arange(10_000, dtype=np.uint64)
+        out = splitmix64(x)
+        assert len(np.unique(out)) == len(x)
+
+    def test_avalanche_changes_output(self):
+        # flipping the low bit should change roughly half the output bits
+        a = splitmix64(np.uint64(12345))
+        b = splitmix64(np.uint64(12344))
+        diff = int(a ^ b)
+        assert 16 <= bin(diff).count("1") <= 48
+
+    def test_dtype_is_uint64(self):
+        assert splitmix64(np.arange(5)).dtype == np.uint64
+
+
+class TestHashPair:
+    def test_undirected_symmetry(self):
+        u = np.array([1, 5, 9])
+        v = np.array([2, 5, 3])
+        assert np.array_equal(hash_pair(u, v), hash_pair(v, u))
+
+    def test_directed_asymmetry(self):
+        h_uv = hash_pair(3, 7, directed=True)
+        h_vu = hash_pair(7, 3, directed=True)
+        assert h_uv != h_vu
+
+    def test_seed_changes_values(self):
+        u = np.arange(50)
+        v = u + 1
+        assert not np.array_equal(hash_pair(u, v, seed=0), hash_pair(u, v, seed=1))
+
+    def test_deterministic_across_calls(self):
+        assert hash_pair(10, 20) == hash_pair(10, 20)
+
+
+class TestEdgeUniform:
+    def test_in_unit_interval(self):
+        u = np.arange(1000)
+        v = (u * 7 + 3) % 1000
+        x = edge_uniform(u, v)
+        assert np.all(x >= 0.0) and np.all(x < 1.0)
+
+    def test_roughly_uniform(self):
+        rng = np.random.default_rng(0)
+        u = rng.integers(0, 10**6, size=20_000)
+        v = rng.integers(0, 10**6, size=20_000)
+        x = edge_uniform(u, v)
+        # mean of U[0,1) is 0.5; loose 3-sigma band
+        assert abs(x.mean() - 0.5) < 0.02
+        # each decile should hold ~10%
+        hist, _ = np.histogram(x, bins=10, range=(0, 1))
+        assert np.all(np.abs(hist / len(x) - 0.1) < 0.02)
+
+    def test_threshold_fraction_tracks_nu(self):
+        rng = np.random.default_rng(1)
+        u = rng.integers(0, 10**6, size=50_000)
+        v = rng.integers(0, 10**6, size=50_000)
+        x = edge_uniform(u, v)
+        for nu in (0.9, 0.95, 0.99):
+            frac = np.mean(x <= nu)
+            assert abs(frac - nu) < 0.01
+
+
+class TestEdgeHasher:
+    def test_uniform_matches_free_function(self):
+        h = EdgeHasher(seed=7)
+        u = np.array([1, 2, 3])
+        v = np.array([4, 5, 6])
+        assert np.array_equal(h.uniform(u, v), edge_uniform(u, v, seed=7))
+
+    def test_owner_range(self):
+        h = EdgeHasher()
+        u = np.arange(500)
+        v = u * 3 + 1
+        owners = h.owner(u, v, 7)
+        assert owners.min() >= 0 and owners.max() < 7
+
+    def test_owner_balanced(self):
+        h = EdgeHasher()
+        rng = np.random.default_rng(2)
+        u = rng.integers(0, 10**6, size=30_000)
+        v = rng.integers(0, 10**6, size=30_000)
+        counts = np.bincount(h.owner(u, v, 8), minlength=8)
+        assert counts.min() > 0.8 * counts.mean()
+
+    def test_owner_direction_independent(self):
+        h = EdgeHasher()
+        assert h.owner(3, 9, 5) == h.owner(9, 3, 5)

@@ -1,0 +1,68 @@
+"""Unit tests for repro.kronecker.indexing."""
+
+import numpy as np
+import pytest
+
+from repro.kronecker.indexing import (
+    alpha,
+    alpha_1b,
+    beta,
+    beta_1b,
+    combine_edges,
+    gamma,
+    gamma_1b,
+    split,
+)
+
+
+class TestZeroBasedMaps:
+    def test_alpha_beta_values(self):
+        # block size 4: p=0..3 -> block 0, p=4..7 -> block 1
+        p = np.arange(8)
+        assert np.array_equal(alpha(p, 4), [0, 0, 0, 0, 1, 1, 1, 1])
+        assert np.array_equal(beta(p, 4), [0, 1, 2, 3, 0, 1, 2, 3])
+
+    def test_gamma_inverts(self):
+        p = np.arange(60)
+        assert np.array_equal(gamma(alpha(p, 7), beta(p, 7), 7), p)
+
+    def test_split_matches_alpha_beta(self):
+        p = np.arange(30)
+        i, k = split(p, 6)
+        assert np.array_equal(i, alpha(p, 6))
+        assert np.array_equal(k, beta(p, 6))
+
+    def test_scalar_inputs(self):
+        assert gamma(2, 3, 5) == 13
+        assert alpha(13, 5) == 2
+        assert beta(13, 5) == 3
+
+    def test_combine_edges(self):
+        src, dst = combine_edges(
+            np.array([0, 1]), np.array([1, 0]),
+            np.array([2, 0]), np.array([0, 2]), n_b=3
+        )
+        assert np.array_equal(src, [2, 3])
+        assert np.array_equal(dst, [3, 2])
+
+
+class TestOneBasedPaperForms:
+    def test_matches_zero_based_shifted(self):
+        n = 5
+        p0 = np.arange(25)
+        p1 = p0 + 1
+        assert np.array_equal(alpha_1b(p1, n) - 1, alpha(p0, n))
+        assert np.array_equal(beta_1b(p1, n) - 1, beta(p0, n))
+
+    def test_gamma_1b_inverts(self):
+        n = 4
+        for i in range(1, 4):
+            for k in range(1, n + 1):
+                p = gamma_1b(i, k, n)
+                assert alpha_1b(p, n) == i
+                assert beta_1b(p, n) == k
+
+    def test_paper_example_values(self):
+        # paper: gamma_n(x, y) = (x-1) n + y
+        assert gamma_1b(1, 1, 10) == 1
+        assert gamma_1b(2, 3, 10) == 13

@@ -1,0 +1,106 @@
+"""Unit tests for repro.graph.io."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import EdgeList, cycle, erdos_renyi
+from repro.graph.io import (
+    read_npz,
+    read_partition_shard,
+    read_partitioned,
+    read_text,
+    write_npz,
+    write_partitioned,
+    write_text,
+)
+
+
+class TestTextFormat:
+    def test_round_trip(self, tmp_path):
+        el = erdos_renyi(15, 0.3, seed=1)
+        p = tmp_path / "g.txt"
+        write_text(el, p)
+        assert read_text(p) == el
+
+    def test_header_preserves_isolated_vertices(self, tmp_path):
+        el = EdgeList.from_pairs([(0, 1)], n=10)
+        p = tmp_path / "g.txt"
+        write_text(el, p)
+        assert read_text(p).n == 10
+
+    def test_no_header(self, tmp_path):
+        el = EdgeList.from_pairs([(0, 1)], n=10)
+        p = tmp_path / "g.txt"
+        write_text(el, p, header=False)
+        assert read_text(p).n == 2  # inferred from max id
+
+    def test_explicit_n_overrides(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1\n")
+        assert read_text(p, n=7).n == 7
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# comment\n\n0\t1\n# more\n1 2\n")
+        el = read_text(p)
+        assert el.m_directed == 2
+
+    def test_snap_style_file(self, tmp_path):
+        # SNAP downloads: '# Directed graph ...' headers, tab separated
+        p = tmp_path / "snap.txt"
+        p.write_text("# Directed graph (each unordered pair once)\n0\t1\n0\t2\n")
+        assert read_text(p).m_directed == 2
+
+    def test_malformed_line(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0\n")
+        with pytest.raises(GraphFormatError):
+            read_text(p)
+
+    def test_non_integer(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 x\n")
+        with pytest.raises(GraphFormatError):
+            read_text(p)
+
+
+class TestNpzFormat:
+    def test_round_trip(self, tmp_path):
+        el = erdos_renyi(20, 0.25, seed=2)
+        p = tmp_path / "g.npz"
+        write_npz(el, p)
+        assert read_npz(p) == el
+
+    def test_preserves_n(self, tmp_path):
+        el = EdgeList.from_pairs([(0, 0)], n=100)
+        p = tmp_path / "g.npz"
+        write_npz(el, p)
+        assert read_npz(p).n == 100
+
+
+class TestPartitionedFormat:
+    def test_shards_cover_everything(self, tmp_path):
+        el = erdos_renyi(12, 0.4, seed=3)
+        paths = write_partitioned(el, tmp_path / "parts", 4)
+        assert len(paths) == 4
+        assert read_partitioned(tmp_path / "parts") == el
+
+    def test_single_shard_readable(self, tmp_path):
+        el = cycle(8)
+        write_partitioned(el, tmp_path / "parts", 3)
+        shard = read_partition_shard(tmp_path / "parts", 1)
+        assert 0 < shard.m_directed < el.m_directed
+
+    def test_more_parts_than_edges(self, tmp_path):
+        el = EdgeList.from_pairs([(0, 1), (1, 0)], n=2)
+        write_partitioned(el, tmp_path / "parts", 5)
+        assert read_partitioned(tmp_path / "parts") == el
+
+    def test_bad_nparts(self, tmp_path):
+        with pytest.raises(GraphFormatError):
+            write_partitioned(cycle(3), tmp_path / "parts", 0)
+
+    def test_missing_dir(self, tmp_path):
+        with pytest.raises(GraphFormatError):
+            read_partitioned(tmp_path / "nothing")

@@ -1,0 +1,133 @@
+"""Unit tests for labeled Kronecker graphs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import clique, cycle, erdos_renyi
+from repro.groundtruth.labeled import (
+    labeled_class_counts_product,
+    labeled_degree_matrix,
+    labeled_degree_matrix_product,
+    labeled_edge_counts,
+    labeled_edge_counts_product,
+)
+from repro.kronecker import kron_product
+from repro.kronecker.labeled import VertexLabeling, product_labeling
+
+
+@pytest.fixture
+def labeled_factors():
+    rng = np.random.default_rng(1001)
+    a = erdos_renyi(9, 0.45, seed=1002)
+    b = erdos_renyi(7, 0.5, seed=1003)
+    lab_a = VertexLabeling(rng.integers(0, 3, size=a.n))
+    lab_b = VertexLabeling(rng.integers(0, 2, size=b.n))
+    return a, b, lab_a, lab_b
+
+
+class TestVertexLabeling:
+    def test_class_counts(self):
+        lab = VertexLabeling(np.array([0, 1, 1, 2]))
+        assert np.array_equal(lab.class_counts(), [1, 2, 1])
+
+    def test_members(self):
+        lab = VertexLabeling(np.array([0, 1, 1, 0]))
+        assert np.array_equal(lab.members(1), [1, 2])
+
+    def test_explicit_alphabet(self):
+        lab = VertexLabeling(np.array([0, 0]), num_labels=4)
+        assert len(lab.class_counts()) == 4
+
+    def test_bad_alphabet_rejected(self):
+        with pytest.raises(GraphFormatError):
+            VertexLabeling(np.array([0, 5]), num_labels=3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphFormatError):
+            VertexLabeling(np.array([-1, 0]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(GraphFormatError):
+            VertexLabeling(np.zeros((2, 2)))
+
+
+class TestProductLabeling:
+    def test_pair_encoding(self):
+        lab_a = VertexLabeling(np.array([0, 1]))
+        lab_b = VertexLabeling(np.array([0, 1, 2]))
+        prod = product_labeling(lab_a, lab_b)
+        # p = i * 3 + k -> label = L_A(i) * 3 + L_B(k)
+        assert np.array_equal(prod.labels, [0, 1, 2, 3, 4, 5])
+        assert prod.num_labels == 6
+
+    def test_class_count_law(self, labeled_factors):
+        a, b, lab_a, lab_b = labeled_factors
+        prod = product_labeling(lab_a, lab_b)
+        law = labeled_class_counts_product(lab_a, lab_b)
+        assert np.array_equal(prod.class_counts(), law)
+        assert law.sum() == a.n * b.n
+
+
+class TestLabeledDegreeLaw:
+    def test_degree_matrix_direct(self):
+        # star: hub 0 sees all leaf labels; leaves see hub's label
+        from repro.graph import star
+
+        g = star(4)
+        lab = VertexLabeling(np.array([0, 1, 1, 2]))
+        d = labeled_degree_matrix(g, lab)
+        assert np.array_equal(d[0], [0, 2, 1])
+        assert np.array_equal(d[1], [1, 0, 0])
+
+    def test_law_matches_direct(self, labeled_factors):
+        a, b, lab_a, lab_b = labeled_factors
+        c = kron_product(a, b)
+        lab_c = product_labeling(lab_a, lab_b)
+        law = labeled_degree_matrix_product(
+            labeled_degree_matrix(a, lab_a), labeled_degree_matrix(b, lab_b)
+        )
+        direct = labeled_degree_matrix(c, lab_c)
+        assert np.array_equal(law, direct)
+
+    def test_row_sums_are_degrees(self, labeled_factors):
+        from repro.analytics import degrees
+
+        a, _, lab_a, _ = labeled_factors
+        d = labeled_degree_matrix(a, lab_a)
+        assert np.array_equal(d.sum(axis=1), degrees(a))
+
+    def test_size_mismatch_rejected(self, labeled_factors):
+        a, _, _, lab_b = labeled_factors
+        with pytest.raises(GraphFormatError):
+            labeled_degree_matrix(a, lab_b)
+
+
+class TestLabeledEdgeLaw:
+    def test_edge_counts_direct(self):
+        g = clique(3)
+        lab = VertexLabeling(np.array([0, 0, 1]))
+        e = labeled_edge_counts(g, lab)
+        assert e[0, 0] == 2  # (0,1) and (1,0)
+        assert e[0, 1] == 2 and e[1, 0] == 2
+        assert e[1, 1] == 0
+
+    def test_law_matches_direct(self, labeled_factors):
+        a, b, lab_a, lab_b = labeled_factors
+        c = kron_product(a, b)
+        lab_c = product_labeling(lab_a, lab_b)
+        law = labeled_edge_counts_product(
+            labeled_edge_counts(a, lab_a), labeled_edge_counts(b, lab_b)
+        )
+        direct = labeled_edge_counts(c, lab_c)
+        assert np.array_equal(law, direct)
+
+    def test_total_is_edge_count(self, labeled_factors):
+        a, _, lab_a, _ = labeled_factors
+        e = labeled_edge_counts(a, lab_a)
+        assert e.sum() == a.m_directed  # loop-free factor
+
+    def test_loops_excluded(self):
+        g = cycle(4).with_full_self_loops()
+        lab = VertexLabeling(np.zeros(4, dtype=np.int64))
+        assert labeled_edge_counts(g, lab)[0, 0] == 8

@@ -1,0 +1,102 @@
+"""Unit tests for repro.kronecker.lazy.KroneckerGraph."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import degrees as direct_degrees
+from repro.graph import CSRGraph, EdgeList, clique, cycle, erdos_renyi
+from repro.kronecker import KroneckerGraph, kron_product
+
+
+@pytest.fixture
+def lazy_and_dense(er_a, er_b):
+    return KroneckerGraph(er_a, er_b), kron_product(er_a, er_b)
+
+
+class TestGlobalCounts:
+    def test_n_and_m(self, lazy_and_dense):
+        lazy, dense = lazy_and_dense
+        assert lazy.n == dense.n
+        assert lazy.m_directed == dense.m_directed
+
+    def test_self_loops_compose(self, er_a, er_b):
+        a = er_a.with_full_self_loops()
+        b = er_b.with_full_self_loops()
+        lazy = KroneckerGraph(a, b)
+        dense = kron_product(a, b)
+        assert lazy.num_self_loops == dense.num_self_loops == dense.n
+
+    def test_partial_loops(self):
+        a = EdgeList.from_pairs([(0, 0), (0, 1), (1, 0)], n=2)
+        b = EdgeList.from_pairs([(1, 1), (0, 1), (1, 0)], n=2)
+        lazy = KroneckerGraph(a, b)
+        assert lazy.num_self_loops == 1  # only (0 in A) x (1 in B)
+
+    def test_undirected_count(self, er_a, er_b):
+        lazy = KroneckerGraph(er_a, er_b)
+        dense = kron_product(er_a, er_b)
+        assert lazy.num_undirected_edges == dense.num_undirected_edges
+
+
+class TestLocalQueries:
+    def test_has_edge_agrees_everywhere(self, lazy_and_dense):
+        lazy, dense = lazy_and_dense
+        csr = CSRGraph.from_edgelist(dense)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            p, q = rng.integers(0, dense.n, size=2)
+            assert lazy.has_edge(p, q) == csr.has_edge(p, q)
+
+    def test_neighbors_sorted_and_correct(self, lazy_and_dense):
+        lazy, dense = lazy_and_dense
+        csr = CSRGraph.from_edgelist(dense)
+        for p in range(dense.n):
+            got = lazy.neighbors(p)
+            assert np.array_equal(got, np.sort(got))
+            assert np.array_equal(got, csr.neighbors(p))
+
+    def test_degree_vectorized(self, lazy_and_dense):
+        lazy, dense = lazy_and_dense
+        expect = direct_degrees(dense)
+        assert np.array_equal(lazy.degrees(), expect)
+        ps = np.arange(dense.n)
+        assert np.array_equal(lazy.degree(ps), expect)
+
+    def test_degree_with_loops(self, er_a, er_b):
+        a = er_a.with_full_self_loops()
+        b = er_b.with_full_self_loops()
+        lazy = KroneckerGraph(a, b)
+        dense = kron_product(a, b)
+        assert np.array_equal(lazy.degrees(), direct_degrees(dense))
+
+    def test_split_combine_roundtrip(self, lazy_and_dense):
+        lazy, _ = lazy_and_dense
+        p = np.arange(lazy.n)
+        i, k = lazy.split_vertex(p)
+        assert np.array_equal(lazy.combine_vertex(i, k), p)
+
+
+class TestMaterialization:
+    def test_to_edgelist(self, lazy_and_dense):
+        lazy, dense = lazy_and_dense
+        assert lazy.to_edgelist() == dense
+
+    def test_iter_edges_total(self, lazy_and_dense):
+        lazy, dense = lazy_and_dense
+        total = sum(len(blk) for blk in lazy.iter_edges(chunk_size=37))
+        assert total == dense.m_directed
+
+    def test_factor_access(self, er_a, er_b):
+        lazy = KroneckerGraph(er_a, er_b)
+        assert lazy.factor_a == er_a.deduplicate()
+        assert lazy.factor_b == er_b.deduplicate()
+
+
+class TestStorageClaim:
+    def test_sublinear_footprint(self):
+        """Factor storage ~ sqrt of product size (the compression claim)."""
+        a = erdos_renyi(40, 0.2, seed=5)
+        lazy = KroneckerGraph(a, a)
+        factor_rows = lazy.factor_a.m_directed + lazy.factor_b.m_directed
+        assert factor_rows**2 >= lazy.m_directed
+        assert factor_rows < lazy.m_directed / 10

@@ -1,0 +1,141 @@
+"""Unit tests for the single-factor-loops triangle regime ([11])."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import edge_triangles, global_triangles, vertex_triangles
+from repro.analytics.triangles import edge_triangles_matrix
+from repro.errors import AssumptionError
+from repro.graph import EdgeList, clique, cycle, erdos_renyi
+from repro.groundtruth.mixed_loops import (
+    edge_triangles_mixed_loops,
+    global_triangles_mixed_loops,
+    mixed_loop_factor_stats,
+    vertex_triangles_mixed_loops,
+)
+from repro.kronecker import kron_product
+
+
+def with_some_loops(el: EdgeList, loop_vertices) -> EdgeList:
+    """Add loops at specific vertices only."""
+    loops = np.asarray(loop_vertices, dtype=np.int64)
+    rows = np.column_stack([loops, loops])
+    return EdgeList(np.vstack([el.without_self_loops().edges, rows]), el.n)
+
+
+@pytest.fixture
+def mixed_setup():
+    a_base = erdos_renyi(9, 0.45, seed=1101)
+    a = with_some_loops(a_base, [0, 2, 5])  # loops on a subset only
+    b = erdos_renyi(8, 0.5, seed=1102)  # loop-free
+    return a, b
+
+
+class TestFactorStats:
+    def test_loop_mask_and_counts(self, mixed_setup):
+        a, _ = mixed_setup
+        stats = mixed_loop_factor_stats(a)
+        assert np.array_equal(np.nonzero(stats.loop_mask)[0], [0, 2, 5])
+        # loop-neighbor counts: count loops among loop-free neighbors
+        from repro.graph import CSRGraph
+
+        csr = CSRGraph.from_edgelist(a.without_self_loops())
+        for v in range(a.n):
+            expect = int(np.sum(stats.loop_mask[csr.neighbors(v)]))
+            assert stats.loop_neighbor_count[v] == expect
+
+
+class TestVertexFormula:
+    def test_matches_direct(self, mixed_setup):
+        a, b = mixed_setup
+        c = kron_product(a, b)
+        assert c.has_no_self_loops()  # B loop-free kills all product loops
+        law = vertex_triangles_mixed_loops(
+            mixed_loop_factor_stats(a), vertex_triangles(b)
+        )
+        assert np.array_equal(law, vertex_triangles(c))
+
+    def test_no_loops_reduces_to_plain_law(self):
+        a = erdos_renyi(8, 0.5, seed=1103)
+        b = erdos_renyi(7, 0.5, seed=1104)
+        law = vertex_triangles_mixed_loops(
+            mixed_loop_factor_stats(a), vertex_triangles(b)
+        )
+        assert np.array_equal(
+            law, 2 * np.kron(vertex_triangles(a), vertex_triangles(b))
+        )
+
+    def test_full_loops_single_factor(self):
+        a = clique(4).with_full_self_loops()
+        b = clique(5)
+        c = kron_product(a, b)
+        law = vertex_triangles_mixed_loops(
+            mixed_loop_factor_stats(a), vertex_triangles(b)
+        )
+        assert np.array_equal(law, vertex_triangles(c))
+
+    def test_loops_tune_counts_locally(self, mixed_setup):
+        """Adding one loop raises triangle counts only over that vertex."""
+        a, b = mixed_setup
+        base = vertex_triangles_mixed_loops(
+            mixed_loop_factor_stats(a), vertex_triangles(b)
+        )
+        a_more = with_some_loops(a, [0, 2, 5, 7])
+        more = vertex_triangles_mixed_loops(
+            mixed_loop_factor_stats(a_more), vertex_triangles(b)
+        )
+        changed = np.nonzero(more != base)[0] // b.n
+        # only vertex 7's block and its neighbors' blocks can change
+        from repro.graph import CSRGraph
+
+        csr = CSRGraph.from_edgelist(a.without_self_loops())
+        allowed = set(csr.neighbors(7).tolist()) | {7}
+        assert set(np.unique(changed)).issubset(allowed)
+
+    def test_global_count(self, mixed_setup):
+        a, b = mixed_setup
+        c = kron_product(a, b)
+        assert global_triangles_mixed_loops(
+            mixed_loop_factor_stats(a), vertex_triangles(b)
+        ) == global_triangles(c)
+
+
+class TestEdgeFormula:
+    def test_matches_direct_all_edges(self, mixed_setup):
+        a, b = mixed_setup
+        c = kron_product(a, b)
+        edges = c.edges  # loop-free product, all rows valid
+        law = edge_triangles_mixed_loops(
+            mixed_loop_factor_stats(a), edge_triangles_matrix(b), edges, b.n
+        )
+        direct = edge_triangles(c, edges)
+        assert np.array_equal(law, direct)
+
+    def test_diagonal_query_requires_loop(self, mixed_setup):
+        a, b = mixed_setup
+        stats = mixed_loop_factor_stats(a)
+        # vertex 1 has no loop; a diagonal A-pair query there is invalid
+        bad = np.array([[1 * b.n + 0, 1 * b.n + 1]])
+        with pytest.raises(AssumptionError):
+            edge_triangles_mixed_loops(
+                stats, edge_triangles_matrix(b), bad, b.n
+            )
+
+    def test_non_edge_of_a_rejected(self, mixed_setup):
+        a, b = mixed_setup
+        stats = mixed_loop_factor_stats(a)
+        from repro.graph import CSRGraph
+
+        csr = CSRGraph.from_edgelist(a.without_self_loops())
+        non_edge = None
+        for j in range(1, a.n):
+            if not csr.has_edge(0, j):
+                non_edge = j
+                break
+        if non_edge is None:
+            pytest.skip("factor is complete")
+        bad = np.array([[0 * b.n + 0, non_edge * b.n + 1]])
+        with pytest.raises(AssumptionError):
+            edge_triangles_mixed_loops(
+                stats, edge_triangles_matrix(b), bad, b.n
+            )

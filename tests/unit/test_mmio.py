@@ -1,0 +1,114 @@
+"""Unit tests for Matrix Market I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import EdgeList, clique, cycle, erdos_renyi
+from repro.graph.mmio import read_matrix_market, write_matrix_market
+
+
+class TestRoundTrip:
+    def test_symmetric_round_trip(self, tmp_path):
+        el = erdos_renyi(12, 0.4, seed=501)
+        p = tmp_path / "g.mtx"
+        write_matrix_market(el, p)
+        assert read_matrix_market(p) == el
+
+    def test_symmetric_file_is_compact(self, tmp_path):
+        el = clique(6)
+        p = tmp_path / "g.mtx"
+        write_matrix_market(el, p)
+        header = p.read_text().splitlines()[0]
+        assert "symmetric" in header
+        # 15 undirected edges stored once, not 30 rows
+        size_line = [l for l in p.read_text().splitlines() if not l.startswith("%")][0]
+        assert size_line.split()[2] == "15"
+
+    def test_directed_round_trip(self, tmp_path):
+        el = EdgeList.from_pairs([(0, 1), (2, 0)], n=3)
+        p = tmp_path / "g.mtx"
+        write_matrix_market(el, p)
+        assert "general" in p.read_text().splitlines()[0]
+        assert read_matrix_market(p) == el
+
+    def test_loops_survive(self, tmp_path):
+        el = cycle(4).with_full_self_loops()
+        p = tmp_path / "g.mtx"
+        write_matrix_market(el, p)
+        back = read_matrix_market(p)
+        assert back == el
+        assert back.has_full_self_loops()
+
+    def test_comment_written(self, tmp_path):
+        p = tmp_path / "g.mtx"
+        write_matrix_market(cycle(3), p, comment="factor A\nsecond line")
+        text = p.read_text()
+        assert "% factor A" in text and "% second line" in text
+
+
+class TestReadForeignFiles:
+    def test_one_based_indexing(self, tmp_path):
+        p = tmp_path / "g.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "3 3 2\n1 2\n3 1\n"
+        )
+        el = read_matrix_market(p)
+        assert {tuple(e) for e in el.edges} == {(0, 1), (2, 0)}
+
+    def test_symmetric_expansion(self, tmp_path):
+        p = tmp_path / "g.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 2\n2 1\n3 3\n"
+        )
+        el = read_matrix_market(p)
+        assert el.is_symmetric()
+        assert el.m_directed == 3  # (0,1),(1,0) + one loop
+
+    def test_weighted_real_field(self, tmp_path):
+        p = tmp_path / "g.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n1 2 3.5\n2 1 0.0\n"
+        )
+        el = read_matrix_market(p)
+        # zero-weight entries drop out of the pattern
+        assert {tuple(e) for e in el.edges} == {(0, 1)}
+
+    def test_comments_between_header_and_size(self, tmp_path):
+        p = tmp_path / "g.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "% a comment\n% another\n"
+            "2 2 1\n1 2\n"
+        )
+        assert read_matrix_market(p).m_directed == 1
+
+    def test_empty_matrix(self, tmp_path):
+        p = tmp_path / "g.mtx"
+        p.write_text(
+            "%%MatrixMarket matrix coordinate pattern general\n5 5 0\n"
+        )
+        el = read_matrix_market(p)
+        assert el.n == 5 and el.m_directed == 0
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "content",
+        [
+            "not a header\n2 2 0\n",
+            "%%MatrixMarket matrix array pattern general\n2 2 0\n",
+            "%%MatrixMarket matrix coordinate complex general\n2 2 0\n",
+            "%%MatrixMarket matrix coordinate pattern skew-symmetric\n2 2 0\n",
+            "%%MatrixMarket matrix coordinate pattern general\n2 3 0\n",
+            "%%MatrixMarket matrix coordinate pattern general\n2 2 5\n1 2\n",
+        ],
+    )
+    def test_malformed_rejected(self, tmp_path, content):
+        p = tmp_path / "bad.mtx"
+        p.write_text(content)
+        with pytest.raises(GraphFormatError):
+            read_matrix_market(p)

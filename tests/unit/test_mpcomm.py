@@ -1,0 +1,66 @@
+"""Unit tests for the multiprocessing communicator backend.
+
+Process tests are kept few and small: each spawns real OS processes.
+The rank functions must be module-level (picklability).
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributed import spmd_run
+from repro.errors import CommunicatorError
+
+
+def _echo_rank(comm):
+    return comm.rank
+
+
+def _ring_pass(comm):
+    # send rank to the next rank around a ring, receive from previous
+    nxt = (comm.rank + 1) % comm.size
+    prv = (comm.rank - 1) % comm.size
+    comm.send(comm.rank, dest=nxt, tag=1)
+    return comm.recv(prv, tag=1)
+
+
+def _allreduce_array(comm):
+    local = np.full(4, comm.rank + 1, dtype=np.int64)
+    return comm.allreduce(local, lambda a, b: a + b)
+
+
+def _tag_stash(comm):
+    if comm.rank == 0:
+        comm.send("first-tag7", dest=1, tag=7)
+        comm.send("then-tag3", dest=1, tag=3)
+        return None
+    got3 = comm.recv(0, tag=3)  # forces stashing of the tag-7 message
+    got7 = comm.recv(0, tag=7)
+    return (got3, got7)
+
+
+def _barrier_loop(comm):
+    for _ in range(3):
+        comm.barrier()
+    return True
+
+
+class TestProcessBackend:
+    def test_ranks_identify(self):
+        assert spmd_run(_echo_rank, 3, backend="process") == [0, 1, 2]
+
+    def test_ring_point_to_point(self):
+        out = spmd_run(_ring_pass, 4, backend="process")
+        assert out == [3, 0, 1, 2]
+
+    def test_allreduce_numpy(self):
+        out = spmd_run(_allreduce_array, 3, backend="process")
+        expected = np.full(4, 1 + 2 + 3)
+        for r in out:
+            assert np.array_equal(r, expected)
+
+    def test_out_of_order_tags_stashed(self):
+        out = spmd_run(_tag_stash, 2, backend="process")
+        assert out[1] == ("then-tag3", "first-tag7")
+
+    def test_dissemination_barrier(self):
+        assert all(spmd_run(_barrier_loop, 5, backend="process"))

@@ -1,0 +1,131 @@
+"""Unit tests for repro.distributed.partition and shuffle."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.partition import (
+    grid_shape_2d,
+    owners_by_edge_hash,
+    owners_by_vertex_block,
+    partition_edges_1d,
+    partition_edges_2d,
+)
+from repro.distributed.shuffle import bucket_edges
+from repro.errors import PartitionError
+from repro.graph import EdgeList, clique, erdos_renyi
+from repro.kronecker import kron_product
+
+
+class TestPartition1D:
+    def test_covers_all_edges(self, er_a):
+        parts = partition_edges_1d(er_a, 4)
+        total = np.vstack([p.edges for p in parts])
+        assert np.array_equal(total, er_a.edges)
+
+    def test_balanced(self):
+        el = clique(10)  # 90 directed rows
+        parts = partition_edges_1d(el, 7)
+        sizes = [p.m_directed for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_keeps_vertex_space(self, er_a):
+        for p in partition_edges_1d(er_a, 3):
+            assert p.n == er_a.n
+
+    def test_more_parts_than_edges(self):
+        el = EdgeList.from_pairs([(0, 1)], n=2)
+        parts = partition_edges_1d(el, 5)
+        assert sum(p.m_directed for p in parts) == 1
+
+    def test_bad_nparts(self, er_a):
+        with pytest.raises(PartitionError):
+            partition_edges_1d(er_a, 0)
+
+
+class TestGridShape:
+    @pytest.mark.parametrize(
+        "r,expect",
+        [(1, (1, 1)), (2, (2, 1)), (4, (2, 2)), (5, (3, 2)), (9, (3, 3)),
+         (10, (4, 3)), (16, (4, 4))],
+    )
+    def test_values(self, r, expect):
+        assert grid_shape_2d(r) == expect
+
+    def test_covers_ranks(self):
+        for r in range(1, 40):
+            rh, rb = grid_shape_2d(r)
+            assert rh * rb >= r
+            assert rh == int(np.ceil(np.sqrt(r)))
+
+    def test_bad(self):
+        with pytest.raises(PartitionError):
+            grid_shape_2d(0)
+
+
+class TestPartition2D:
+    @pytest.mark.parametrize("nranks", [1, 2, 3, 4, 5, 7, 9, 12])
+    def test_union_of_products_is_full_product(self, er_a, er_b, nranks):
+        assignments = partition_edges_2d(er_a, er_b, nranks)
+        assert len(assignments) == nranks
+        pieces = []
+        for cells in assignments:
+            for pa, pb in cells:
+                pieces.append(kron_product(pa, pb).edges)
+        got = np.vstack([p for p in pieces if len(p)])
+        expect = kron_product(er_a, er_b)
+        assert EdgeList(got, expect.n) == expect
+
+    def test_square_world_one_cell_each(self, er_a, er_b):
+        assignments = partition_edges_2d(er_a, er_b, 9)
+        assert all(len(cells) == 1 for cells in assignments)
+
+
+class TestOwnerMaps:
+    def test_block_contiguous_ranges(self):
+        owners = owners_by_vertex_block(np.arange(10), 10, 3)
+        assert np.array_equal(owners, [0, 0, 0, 0, 1, 1, 1, 2, 2, 2])
+
+    def test_block_range(self):
+        owners = owners_by_vertex_block(np.arange(1000), 1000, 7)
+        assert owners.min() == 0 and owners.max() == 6
+        # monotone nondecreasing
+        assert np.all(np.diff(owners) >= 0)
+
+    def test_block_bad_args(self):
+        with pytest.raises(PartitionError):
+            owners_by_vertex_block(np.arange(3), 3, 0)
+
+    def test_hash_owner_symmetric(self):
+        e = np.array([[3, 9], [9, 3]])
+        owners = owners_by_edge_hash(e, 5)
+        assert owners[0] == owners[1]
+
+    def test_hash_owner_range(self):
+        rng = np.random.default_rng(0)
+        e = rng.integers(0, 1000, size=(5000, 2))
+        owners = owners_by_edge_hash(e, 6)
+        assert owners.min() >= 0 and owners.max() < 6
+
+
+class TestBucketEdges:
+    def test_source_block_routing(self):
+        edges = np.array([[0, 5], [9, 1], [5, 5]])
+        buckets = bucket_edges(edges, 2, scheme="source_block", n=10)
+        assert np.array_equal(buckets[0], [[0, 5]])
+        got1 = {tuple(r) for r in buckets[1]}
+        assert got1 == {(9, 1), (5, 5)}
+
+    def test_buckets_partition_input(self):
+        rng = np.random.default_rng(1)
+        edges = rng.integers(0, 100, size=(500, 2))
+        buckets = bucket_edges(edges, 7, scheme="edge_hash")
+        total = sum(len(b) for b in buckets)
+        assert total == 500
+
+    def test_requires_n_for_block(self):
+        with pytest.raises(ValueError):
+            bucket_edges(np.array([[0, 1]]), 2, scheme="source_block")
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            bucket_edges(np.array([[0, 1]]), 2, scheme="mystery", n=2)

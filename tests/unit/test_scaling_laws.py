@@ -1,0 +1,101 @@
+"""Unit tests for repro.groundtruth.scaling_laws (the Section-I table)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AssumptionError
+from repro.graph import clique, cycle, erdos_renyi
+from repro.groundtruth.scaling_laws import ScalingLawReport, evaluate_scaling_laws
+from tests.conftest import random_connected_factor
+
+
+class TestEvaluate:
+    def test_all_rows_present(self):
+        rep = evaluate_scaling_laws(clique(4), cycle(5))
+        names = [r.name for r in rep.rows]
+        assert names == [
+            "Vertices",
+            "Edges",
+            "Degree",
+            "Vertex triangles",
+            "Edge triangles",
+            "Global triangles",
+            "Clustering coeff.",
+            "Vertex eccentricity",
+            "Graph diameter",
+            "# Communities",
+            "Internal density",
+            "External density",
+        ]
+
+    def test_all_hold_on_clique_cycle(self):
+        rep = evaluate_scaling_laws(clique(4), cycle(5))
+        assert rep.all_hold
+        assert rep.failures() == []
+
+    def test_all_hold_on_random_connected(self):
+        a = random_connected_factor(9, seed=121)
+        b = random_connected_factor(8, seed=122)
+        rep = evaluate_scaling_laws(a, b)
+        assert rep.all_hold, rep.to_text()
+
+    def test_custom_partitions(self):
+        a = clique(6)
+        b = clique(4)
+        parts_a = [np.arange(2), np.arange(2, 6)]
+        parts_b = [np.arange(4)]
+        rep = evaluate_scaling_laws(a, b, parts_a, parts_b)
+        assert rep.all_hold
+
+    def test_rejects_loopy_factor(self):
+        with pytest.raises(AssumptionError):
+            evaluate_scaling_laws(clique(3).with_full_self_loops(), cycle(4))
+
+    def test_rejects_asymmetric_factor(self):
+        from repro.graph import EdgeList
+
+        with pytest.raises(AssumptionError):
+            evaluate_scaling_laws(EdgeList.from_pairs([(0, 1)], n=2), cycle(4))
+
+
+class TestReport:
+    def test_to_text_renders_all_rows(self):
+        rep = evaluate_scaling_laws(clique(4), cycle(5))
+        text = rep.to_text()
+        for r in rep.rows:
+            assert r.name in text
+
+    def test_failures_surface(self):
+        rep = ScalingLawReport()
+        rep.add("fake", "exact", 1, 2, False)
+        assert not rep.all_hold
+        assert len(rep.failures()) == 1
+        assert "NO" in rep.to_text()
+
+
+class TestExtendedTable:
+    def test_extended_rows_present_and_hold(self):
+        rep = evaluate_scaling_laws(clique(4), cycle(5), extended=True)
+        names = [r.name for r in rep.rows]
+        assert "# Components (Weichsel)" in names
+        assert "Top eigenvalue" in names
+        assert "Closed walks h<=4" in names
+        assert rep.all_hold, rep.to_text()
+
+    def test_extended_on_random_factors(self):
+        a = random_connected_factor(8, seed=1201)
+        b = random_connected_factor(7, seed=1202)
+        rep = evaluate_scaling_laws(a, b, extended=True)
+        assert rep.all_hold, rep.to_text()
+
+    def test_weichsel_row_bipartite_case(self):
+        # both bipartite factors -> product has 2 components; row must hold
+        from repro.graph import path
+
+        rep = evaluate_scaling_laws(cycle(4), path(4), extended=True)
+        comp_row = [r for r in rep.rows if "Weichsel" in r.name][0]
+        assert comp_row.holds and comp_row.law_value == "2"
+
+    def test_default_table_unchanged(self):
+        rep = evaluate_scaling_laws(clique(4), cycle(5))
+        assert len(rep.rows) == 12

@@ -1,0 +1,117 @@
+"""Unit tests for repro.groundtruth.spectrum."""
+
+import numpy as np
+import pytest
+
+from repro.graph import clique, cycle, erdos_renyi
+from repro.groundtruth.spectrum import (
+    eigenvalues_product,
+    factor_eigenvalues,
+    top_eigenvalues_product,
+)
+from repro.kronecker import kron_product
+
+
+def dense_spectrum(el):
+    return np.sort(np.linalg.eigvalsh(el.to_scipy_sparse().toarray()))[::-1]
+
+
+class TestFactorEigenvalues:
+    def test_full_spectrum_matches_dense(self, er_a):
+        assert np.allclose(factor_eigenvalues(er_a), dense_spectrum(er_a))
+
+    def test_clique_spectrum(self):
+        lam = factor_eigenvalues(clique(5))
+        assert lam[0] == pytest.approx(4.0)
+        assert np.allclose(lam[1:], -1.0)
+
+    def test_topk_lanczos(self, er_a):
+        lam_full = factor_eigenvalues(er_a)
+        lam_top = factor_eigenvalues(er_a, k=3)
+        assert np.allclose(lam_top, lam_full[:3], atol=1e-8)
+
+    def test_empty(self):
+        from repro.graph import EdgeList
+
+        assert len(factor_eigenvalues(EdgeList(np.empty((0, 2)), n=0))) == 0
+
+
+class TestProductSpectrum:
+    def test_all_eigenvalues(self, er_a, er_b):
+        law = eigenvalues_product(
+            factor_eigenvalues(er_a), factor_eigenvalues(er_b)
+        )
+        direct = dense_spectrum(kron_product(er_a, er_b))
+        assert np.allclose(law, direct, atol=1e-8)
+
+    def test_with_self_loops(self, er_a, er_b):
+        a = er_a.with_full_self_loops()
+        b = er_b.with_full_self_loops()
+        law = eigenvalues_product(factor_eigenvalues(a), factor_eigenvalues(b))
+        assert np.allclose(law, dense_spectrum(kron_product(a, b)), atol=1e-8)
+
+    def test_top_k_without_outer_product(self, er_a, er_b):
+        lam_a = factor_eigenvalues(er_a)
+        lam_b = factor_eigenvalues(er_b)
+        full = eigenvalues_product(lam_a, lam_b)
+        for k in (1, 3, 10):
+            assert np.allclose(top_eigenvalues_product(lam_a, lam_b, k), full[:k])
+
+    def test_top_k_with_negatives(self):
+        # negative x negative products can dominate; extremes must be checked
+        lam_a = np.array([3.0, -5.0])
+        lam_b = np.array([2.0, -4.0])
+        top = top_eigenvalues_product(lam_a, lam_b, 2)
+        assert top[0] == pytest.approx(20.0)  # (-5)(-4)
+        assert top[1] == pytest.approx(6.0)
+
+    def test_k_zero(self):
+        assert len(top_eigenvalues_product(np.array([1.0]), np.array([1.0]), 0)) == 0
+
+
+class TestProductEigenpairs:
+    def test_residuals_vanish(self, er_a, er_b):
+        from repro.groundtruth.spectrum import factor_eigenpairs, top_eigenpairs_product
+
+        la, va = factor_eigenpairs(er_a, er_a.n)
+        lb, vb = factor_eigenpairs(er_b, er_b.n)
+        vals, vecs = top_eigenpairs_product(la, va, lb, vb, 6)
+        c = kron_product(er_a, er_b).to_scipy_sparse().toarray()
+        for i in range(6):
+            resid = np.linalg.norm(c @ vecs[:, i] - vals[i] * vecs[:, i])
+            assert resid < 1e-8
+
+    def test_values_match_dense_top(self, er_a, er_b):
+        from repro.groundtruth.spectrum import factor_eigenpairs, top_eigenpairs_product
+
+        la, va = factor_eigenpairs(er_a, er_a.n)
+        lb, vb = factor_eigenpairs(er_b, er_b.n)
+        vals, _ = top_eigenpairs_product(la, va, lb, vb, 4)
+        dense = dense_spectrum(kron_product(er_a, er_b))
+        assert np.allclose(vals, dense[:4], atol=1e-8)
+
+    def test_vectors_unit_norm(self, er_a, er_b):
+        from repro.groundtruth.spectrum import factor_eigenpairs, top_eigenpairs_product
+
+        la, va = factor_eigenpairs(er_a, er_a.n)
+        lb, vb = factor_eigenpairs(er_b, er_b.n)
+        _, vecs = top_eigenpairs_product(la, va, lb, vb, 3)
+        norms = np.linalg.norm(vecs, axis=0)
+        assert np.allclose(norms, 1.0)
+
+    def test_k_zero_empty(self, er_a, er_b):
+        from repro.groundtruth.spectrum import factor_eigenpairs, top_eigenpairs_product
+
+        la, va = factor_eigenpairs(er_a, 3)
+        lb, vb = factor_eigenpairs(er_b, 3)
+        vals, vecs = top_eigenpairs_product(la, va, lb, vb, 0)
+        assert len(vals) == 0 and vecs.shape[1] == 0
+
+    def test_lanczos_k_pairs(self, er_a):
+        from repro.groundtruth.spectrum import factor_eigenpairs
+
+        vals, vecs = factor_eigenpairs(er_a, 3)
+        dense = er_a.to_scipy_sparse().toarray()
+        for i in range(3):
+            resid = np.linalg.norm(dense @ vecs[:, i] - vals[i] * vecs[:, i])
+            assert resid < 1e-8

@@ -1,0 +1,124 @@
+"""Unit tests for repro.analytics.triangles and clustering (direct side)."""
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.analytics import (
+    average_clustering,
+    edge_clustering,
+    edge_triangles,
+    edge_triangles_matrix,
+    global_triangles,
+    triangle_summary,
+    vertex_clustering,
+    vertex_triangles,
+)
+from repro.graph import EdgeList, clique, cycle, erdos_renyi, path, star
+
+
+class TestVertexTriangles:
+    def test_clique(self):
+        # each vertex of K5 is in C(4,2) = 6 triangles
+        assert np.all(vertex_triangles(clique(5)) == 6)
+
+    def test_triangle_free(self):
+        assert np.all(vertex_triangles(cycle(6)) == 0)
+        assert np.all(vertex_triangles(star(5)) == 0)
+
+    def test_single_triangle(self):
+        assert np.all(vertex_triangles(cycle(3)) == 1)
+
+    def test_self_loops_ignored(self):
+        a = clique(4)
+        b = clique(4).with_full_self_loops()
+        assert np.array_equal(vertex_triangles(a), vertex_triangles(b))
+
+    def test_matches_networkx(self):
+        g = erdos_renyi(40, 0.25, seed=61)
+        theirs = nx.triangles(g.to_networkx())
+        assert np.array_equal(vertex_triangles(g), [theirs[v] for v in range(g.n)])
+
+    def test_empty(self):
+        assert len(vertex_triangles(EdgeList(np.empty((0, 2)), n=0))) == 0
+
+
+class TestEdgeTriangles:
+    def test_clique_edges(self):
+        # each edge of K5 is in 3 triangles
+        k5 = clique(5)
+        assert np.all(edge_triangles(k5) == 3)
+
+    def test_matrix_symmetric(self):
+        g = erdos_renyi(25, 0.3, seed=62)
+        delta = edge_triangles_matrix(g)
+        assert (delta - delta.T).nnz == 0
+
+    def test_row_sums_are_twice_vertex_counts(self):
+        g = erdos_renyi(25, 0.3, seed=63)
+        delta = edge_triangles_matrix(g)
+        t = vertex_triangles(g)
+        rows = np.asarray(delta.sum(axis=1)).ravel()
+        assert np.array_equal(rows, 2 * t)
+
+    def test_query_specific_edges(self):
+        k4 = clique(4)
+        got = edge_triangles(k4, np.array([[0, 1], [2, 3]]))
+        assert np.array_equal(got, [2, 2])
+
+    def test_empty_query(self):
+        assert len(edge_triangles(clique(3), np.empty((0, 2), dtype=np.int64))) == 0
+
+
+class TestGlobalTriangles:
+    def test_known_counts(self):
+        assert global_triangles(clique(4)) == 4
+        assert global_triangles(clique(6)) == 20
+        assert global_triangles(cycle(5)) == 0
+
+    def test_matches_sum_identity(self):
+        g = erdos_renyi(30, 0.3, seed=64)
+        assert global_triangles(g) * 3 == vertex_triangles(g).sum()
+
+    def test_summary_consistent(self):
+        g = erdos_renyi(30, 0.3, seed=65)
+        s = triangle_summary(g)
+        assert np.array_equal(s["vertex"], vertex_triangles(g))
+        assert s["global"] == global_triangles(g)
+        assert (s["edge_matrix"] - edge_triangles_matrix(g)).nnz == 0
+
+
+class TestClustering:
+    def test_clique_is_one(self):
+        eta = vertex_clustering(clique(6))
+        assert np.allclose(eta, 1.0)
+
+    def test_triangle_free_is_zero(self):
+        eta = vertex_clustering(cycle(6))
+        assert np.allclose(eta, 0.0)
+
+    def test_degree_one_is_nan(self):
+        eta = vertex_clustering(path(3))
+        assert np.isnan(eta[0]) and np.isnan(eta[2])
+        assert eta[1] == 0.0
+
+    def test_matches_networkx(self):
+        g = erdos_renyi(40, 0.3, seed=66)
+        theirs = nx.clustering(g.to_networkx())
+        mine = vertex_clustering(g)
+        for v in range(g.n):
+            if not np.isnan(mine[v]):
+                assert mine[v] == pytest.approx(theirs[v])
+
+    def test_edge_clustering_clique(self):
+        # K4 edge: 2 triangles / (3 - 1) = 1
+        xi = edge_clustering(clique(4))
+        assert np.allclose(xi, 1.0)
+
+    def test_edge_clustering_nan_for_leaf(self):
+        xi = edge_clustering(star(4))
+        assert np.all(np.isnan(xi))
+
+    def test_average_clustering_skips_nan(self):
+        assert average_clustering(star(4)) == 0.0
+        assert average_clustering(clique(5)) == pytest.approx(1.0)

@@ -1,0 +1,161 @@
+"""Unit tests for repro.groundtruth.triangles (Cor. 1 / Cor. 2 + no-loop laws)."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    edge_triangles,
+    edge_triangles_matrix,
+    global_triangles,
+    vertex_triangles,
+)
+from repro.errors import AssumptionError
+from repro.graph import EdgeList, clique, cycle, erdos_renyi
+from repro.groundtruth.triangles import (
+    edge_triangles_full_loops,
+    edge_triangles_full_loops_paper,
+    edge_triangles_matrix_full_loops,
+    edge_triangles_no_loops,
+    factor_triangle_stats,
+    global_triangles_full_loops,
+    global_triangles_no_loops,
+    vertex_triangles_full_loops,
+    vertex_triangles_no_loops,
+)
+from repro.kronecker import kron_product, kron_with_full_loops
+
+
+@pytest.fixture
+def stats_ab(er_a, er_b):
+    return factor_triangle_stats(er_a), factor_triangle_stats(er_b)
+
+
+class TestFactorStats:
+    def test_fields_consistent(self, er_a):
+        s = factor_triangle_stats(er_a)
+        assert np.array_equal(s.vertex_tri, vertex_triangles(er_a))
+        assert s.global_tri == global_triangles(er_a)
+        assert (s.edge_tri - edge_triangles_matrix(er_a)).nnz == 0
+
+    def test_loops_stripped(self, er_a):
+        with_loops = factor_triangle_stats(er_a.with_full_self_loops())
+        without = factor_triangle_stats(er_a)
+        assert np.array_equal(with_loops.vertex_tri, without.vertex_tri)
+        assert np.array_equal(with_loops.degrees, without.degrees)
+
+
+class TestNoLoopLaws:
+    def test_vertex_law(self, er_a, er_b):
+        law = vertex_triangles_no_loops(
+            vertex_triangles(er_a), vertex_triangles(er_b)
+        )
+        assert np.array_equal(law, vertex_triangles(kron_product(er_a, er_b)))
+
+    def test_edge_law(self, er_a, er_b):
+        law = edge_triangles_no_loops(
+            edge_triangles_matrix(er_a), edge_triangles_matrix(er_b)
+        )
+        direct = edge_triangles_matrix(kron_product(er_a, er_b))
+        assert (law - direct).nnz == 0
+
+    def test_global_law(self, er_a, er_b):
+        law = global_triangles_no_loops(
+            global_triangles(er_a), global_triangles(er_b)
+        )
+        assert law == global_triangles(kron_product(er_a, er_b))
+
+    def test_triangle_free_factor_kills_product(self, er_a):
+        c6 = cycle(6)
+        assert global_triangles_no_loops(
+            global_triangles(er_a), global_triangles(c6)
+        ) == 0
+        assert global_triangles(kron_product(er_a, c6)) == 0
+
+
+class TestCor1VertexFullLoops:
+    def test_matches_direct(self, er_a, er_b, stats_ab):
+        sa, sb = stats_ab
+        law = vertex_triangles_full_loops(sa, sb)
+        direct = vertex_triangles(kron_with_full_loops(er_a, er_b))
+        assert np.array_equal(law, direct)
+
+    def test_single_edge_times_triangle_gives_k6(self):
+        # A = one edge, B = triangle: C = K6 with loops, t_p = 10 everywhere
+        a = EdgeList.from_pairs([(0, 1), (1, 0)], n=2)
+        b = clique(3)
+        law = vertex_triangles_full_loops(
+            factor_triangle_stats(a), factor_triangle_stats(b)
+        )
+        assert np.all(law == 10)
+
+    def test_global_matches(self, er_a, er_b, stats_ab):
+        sa, sb = stats_ab
+        assert global_triangles_full_loops(sa, sb) == global_triangles(
+            kron_with_full_loops(er_a, er_b)
+        )
+
+
+class TestCor2EdgeFullLoops:
+    def test_matches_direct_all_edges(self, er_a, er_b, stats_ab):
+        sa, sb = stats_ab
+        c = kron_with_full_loops(er_a, er_b)
+        edges = c.without_self_loops().edges
+        law = edge_triangles_full_loops(sa, sb, edges)
+        direct = edge_triangles(c, edges)
+        assert np.array_equal(law, direct)
+
+    def test_loop_query_rejected(self, stats_ab):
+        sa, sb = stats_ab
+        with pytest.raises(AssumptionError):
+            edge_triangles_full_loops(sa, sb, np.array([[3, 3]]))
+
+    def test_non_edge_query_rejected(self, er_a, er_b, stats_ab):
+        sa, sb = stats_ab
+        c = kron_with_full_loops(er_a, er_b)
+        from repro.graph import CSRGraph
+
+        csr = CSRGraph.from_edgelist(c)
+        # find a non-edge pair
+        for q in range(1, c.n):
+            if not csr.has_edge(0, q):
+                with pytest.raises(AssumptionError):
+                    edge_triangles_full_loops(sa, sb, np.array([[0, q]]))
+                break
+
+    def test_matrix_form_matches(self, er_a, er_b, stats_ab):
+        sa, sb = stats_ab
+        law = edge_triangles_matrix_full_loops(sa, sb)
+        direct = edge_triangles_matrix(kron_with_full_loops(er_a, er_b))
+        assert abs(law - direct).max() < 1e-9
+
+
+class TestPaperErratum:
+    """Documents the printed Cor. 2's over-count in the delta cases."""
+
+    def test_paper_formula_agrees_off_diagonal(self, er_a, er_b, stats_ab):
+        sa, sb = stats_ab
+        c = kron_with_full_loops(er_a, er_b)
+        edges = c.without_self_loops().edges
+        i, j = edges[:, 0] // er_b.n, edges[:, 1] // er_b.n
+        k, l = edges[:, 0] % er_b.n, edges[:, 1] % er_b.n
+        generic = (i != j) & (k != l)
+        paper = edge_triangles_full_loops_paper(sa, sb, edges)
+        corrected = edge_triangles_full_loops(sa, sb, edges)
+        assert np.array_equal(paper[generic], corrected[generic])
+
+    def test_paper_formula_overcounts_on_diagonal_cases(self):
+        # K6 example from the module docstring: every edge is in 4 triangles
+        a = EdgeList.from_pairs([(0, 1), (1, 0)], n=2)
+        b = clique(3)
+        sa, sb = factor_triangle_stats(a), factor_triangle_stats(b)
+        c = kron_with_full_loops(a, b)
+        edges = c.without_self_loops().edges
+        corrected = edge_triangles_full_loops(sa, sb, edges)
+        direct = edge_triangles(c, edges)
+        assert np.array_equal(corrected, direct)
+        assert np.all(direct == 4)
+        paper = edge_triangles_full_loops_paper(sa, sb, edges)
+        diag_case = (edges[:, 0] // 3 == edges[:, 1] // 3) | (
+            edges[:, 0] % 3 == edges[:, 1] % 3
+        )
+        assert np.all(paper[diag_case] > 4)  # the over-count

@@ -1,0 +1,109 @@
+"""Unit tests for repro.validation (checks + harness)."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import vertex_triangles
+from repro.errors import AssumptionError, ExperimentError
+from repro.graph import EdgeList, clique, cycle
+from repro.groundtruth import factor_triangle_stats, vertex_triangles_full_loops
+from repro.kronecker import kron_with_full_loops
+from repro.validation import (
+    ALL_CHECKS,
+    CheckResult,
+    validate_algorithm,
+    validate_product,
+)
+from tests.conftest import random_connected_factor
+
+
+@pytest.fixture
+def factors():
+    return random_connected_factor(8, seed=141), random_connected_factor(7, seed=142)
+
+
+class TestValidateProduct:
+    def test_all_checks_pass(self, factors):
+        a, b = factors
+        report = validate_product(a, b)
+        assert report.passed, report.to_text()
+        assert len(report.results) == len(ALL_CHECKS)
+
+    def test_subset_of_checks(self, factors):
+        a, b = factors
+        report = validate_product(a, b, checks=["sizes", "degrees"])
+        assert len(report.results) == 2
+        assert report.passed
+
+    def test_unknown_check_rejected(self, factors):
+        a, b = factors
+        with pytest.raises(ExperimentError):
+            validate_product(a, b, checks=["nope"])
+
+    def test_loopy_input_rejected(self, factors):
+        a, b = factors
+        with pytest.raises(AssumptionError):
+            validate_product(a.with_full_self_loops(), b)
+
+    def test_asymmetric_input_rejected(self, factors):
+        _, b = factors
+        with pytest.raises(AssumptionError):
+            validate_product(EdgeList.from_pairs([(0, 1)], n=2), b)
+
+    def test_report_text_format(self, factors):
+        a, b = factors
+        text = validate_product(a, b, checks=["sizes"]).to_text()
+        assert "[PASS] sizes" in text
+        assert "1/1 checks passed" in text
+
+
+class TestValidateAlgorithm:
+    def test_exact_pass(self, factors):
+        a, b = factors
+        c = kron_with_full_loops(a, b)
+        truth = vertex_triangles_full_loops(
+            factor_triangle_stats(a), factor_triangle_stats(b)
+        )
+        result = validate_algorithm(vertex_triangles, truth, c, name="tc")
+        assert result.passed
+        assert "exact match" in result.detail
+
+    def test_wrong_algorithm_fails(self, factors):
+        a, b = factors
+        c = kron_with_full_loops(a, b)
+        truth = vertex_triangles_full_loops(
+            factor_triangle_stats(a), factor_triangle_stats(b)
+        )
+
+        def buggy(graph):
+            return vertex_triangles(graph) + 1  # off by one everywhere
+
+        result = validate_algorithm(buggy, truth, c)
+        assert not result.passed
+        assert "differ" in result.detail
+
+    def test_approximate_tolerance(self, factors):
+        a, b = factors
+        c = kron_with_full_loops(a, b)
+        truth = vertex_triangles_full_loops(
+            factor_triangle_stats(a), factor_triangle_stats(b)
+        ).astype(float)
+
+        def approx(graph):
+            return vertex_triangles(graph) * 1.001
+
+        assert not validate_algorithm(approx, truth, c).passed
+        assert validate_algorithm(approx, truth, c, rtol=0.01).passed
+
+    def test_shape_mismatch(self, factors):
+        a, b = factors
+        c = kron_with_full_loops(a, b)
+        result = validate_algorithm(lambda g: np.zeros(3), np.zeros(4), c)
+        assert not result.passed
+        assert "shape" in result.detail
+
+
+class TestCheckResult:
+    def test_str_format(self):
+        assert str(CheckResult("x", True, "ok")) == "[PASS] x: ok"
+        assert str(CheckResult("x", False, "bad")) == "[FAIL] x: bad"
