@@ -3,15 +3,20 @@
 These are the "known trusted implementation" side of the paper's validation
 story: expensive direct computations on a materialized graph, against which
 the sublinear Kronecker formulas of :mod:`repro.groundtruth` are checked.
-All-pairs routines run one BFS per vertex -- the O(|V||E|) cost the paper
-cites -- so they are intended for factor-scale or scaled-down product graphs.
+All-pairs routines cost the O(|V||E|) BFS volume the paper cites, but run
+through the batched multi-source kernel
+(:func:`repro.analytics.bfs.bfs_levels_multi`) by default: K sources
+advance per vectorized sweep, removing the one-Python-BFS-per-vertex loop
+that used to dominate every validation experiment.  ``method="loop"``
+selects the legacy per-vertex path; both produce bit-identical hop counts
+(BFS levels are canonical), which ``tests/unit/test_distances.py`` pins.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.analytics.bfs import UNREACHABLE, bfs_hops
+from repro.analytics.bfs import UNREACHABLE, bfs_hops, bfs_hops_multi
 from repro.errors import AssumptionError
 from repro.graph.csr import CSRGraph
 from repro.graph.edgelist import EdgeList
@@ -25,20 +30,40 @@ __all__ = [
     "closeness_from_hops",
 ]
 
+#: Sources per batched sweep for the all-pairs drivers: large enough to
+#: amortize per-level numpy dispatch, small enough to keep the dense
+#: frontier planes cache-resident on factor-scale graphs.
+_BATCH = 256
+
 
 def _as_csr(g: EdgeList | CSRGraph) -> CSRGraph:
     return g if isinstance(g, CSRGraph) else CSRGraph.from_edgelist(g)
 
 
+def _check_method(method: str) -> None:
+    if method not in ("batched", "loop"):
+        raise ValueError(f"unknown method {method!r}; use 'batched' or 'loop'")
+
+
 def hop_matrix(
-    g: EdgeList | CSRGraph, *, selfloop_convention: bool = True
+    g: EdgeList | CSRGraph,
+    *,
+    selfloop_convention: bool = True,
+    method: str = "batched",
 ) -> np.ndarray:
     """All-pairs hop counts (Def. 9 convention by default).
 
     Returns an ``(n, n)`` int64 matrix with ``-1`` marking unreachable
     pairs.  Memory is O(n^2); use only on factor-scale graphs.
+    ``method="loop"`` runs the legacy one-BFS-per-vertex path (bit-identical
+    output, kept for A/B validation).
     """
+    _check_method(method)
     csr = _as_csr(g)
+    if method == "batched":
+        return bfs_hops_multi(
+            csr, selfloop_convention=selfloop_convention, batch=_BATCH
+        )
     out = np.empty((csr.n, csr.n), dtype=np.int64)
     for v in range(csr.n):
         out[v] = bfs_hops(csr, v, selfloop_convention=selfloop_convention)
@@ -65,22 +90,40 @@ def hop_matrix_def9(g: EdgeList | CSRGraph) -> np.ndarray:
 
 
 def eccentricities(
-    g: EdgeList | CSRGraph, *, selfloop_convention: bool = True
+    g: EdgeList | CSRGraph,
+    *,
+    selfloop_convention: bool = True,
+    method: str = "batched",
 ) -> np.ndarray:
-    """Exact vertex eccentricities by one BFS per vertex (Def. 11).
+    """Exact vertex eccentricities (Def. 11).
 
-    Raises :class:`AssumptionError` if the graph is disconnected, where
+    Batches of sources are swept together and reduced row-wise, so memory
+    stays at O(n * batch) rather than the full hop matrix.  Raises
+    :class:`AssumptionError` if the graph is disconnected, where
     eccentricity is undefined (infinite).
     """
+    _check_method(method)
     csr = _as_csr(g)
     out = np.empty(csr.n, dtype=np.int64)
-    for v in range(csr.n):
-        hops = bfs_hops(csr, v, selfloop_convention=selfloop_convention)
+    if method == "loop":
+        for v in range(csr.n):
+            hops = bfs_hops(csr, v, selfloop_convention=selfloop_convention)
+            if np.any(hops == UNREACHABLE):
+                raise AssumptionError(
+                    "eccentricity undefined on a disconnected graph"
+                )
+            out[v] = hops.max()
+        return out
+    for start in range(0, csr.n, _BATCH):
+        cols = np.arange(start, min(start + _BATCH, csr.n), dtype=np.int64)
+        hops = bfs_hops_multi(
+            csr, cols, selfloop_convention=selfloop_convention, batch=_BATCH
+        )
         if np.any(hops == UNREACHABLE):
             raise AssumptionError(
                 "eccentricity undefined on a disconnected graph"
             )
-        out[v] = hops.max()
+        out[cols] = hops.max(axis=1)
     return out
 
 
@@ -101,13 +144,37 @@ def closeness_from_hops(hops: np.ndarray) -> float:
     return float(np.sum(1.0 / h[valid]))
 
 
+def _closeness_rows(hops: np.ndarray) -> np.ndarray:
+    """Row-wise Def. 12 closeness of a hop-count matrix."""
+    h = hops.astype(np.float64)
+    recip = np.zeros_like(h)
+    np.divide(1.0, h, out=recip, where=h > 0)
+    return recip.sum(axis=1)
+
+
 def closeness_centralities(
-    g: EdgeList | CSRGraph, *, selfloop_convention: bool = True
+    g: EdgeList | CSRGraph,
+    *,
+    selfloop_convention: bool = True,
+    method: str = "batched",
 ) -> np.ndarray:
-    """Exact closeness centrality of every vertex (one BFS per vertex)."""
+    """Exact closeness centrality of every vertex.
+
+    Like :func:`eccentricities`, sweeps batches of sources through the
+    multi-source BFS kernel and reduces each row immediately.
+    """
+    _check_method(method)
     csr = _as_csr(g)
     out = np.empty(csr.n, dtype=np.float64)
-    for v in range(csr.n):
-        hops = bfs_hops(csr, v, selfloop_convention=selfloop_convention)
-        out[v] = closeness_from_hops(hops)
+    if method == "loop":
+        for v in range(csr.n):
+            hops = bfs_hops(csr, v, selfloop_convention=selfloop_convention)
+            out[v] = closeness_from_hops(hops)
+        return out
+    for start in range(0, csr.n, _BATCH):
+        cols = np.arange(start, min(start + _BATCH, csr.n), dtype=np.int64)
+        hops = bfs_hops_multi(
+            csr, cols, selfloop_convention=selfloop_convention, batch=_BATCH
+        )
+        out[cols] = _closeness_rows(hops)
     return out

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analytics.bfs import UNREACHABLE, bfs_levels
+from repro.analytics.bfs import UNREACHABLE, bfs_levels, bfs_levels_multi
 from repro.errors import AssumptionError
 from repro.graph.csr import CSRGraph
 from repro.graph.edgelist import EdgeList
@@ -147,8 +147,9 @@ def batched_eccentricities(
 ) -> np.ndarray:
     """Exact eccentricities by multi-source level-synchronous BFS.
 
-    Runs BFS from ``batch`` sources simultaneously as one sparse-matrix x
-    dense-matrix product per level -- the k-BFS batching that makes exact
+    Runs BFS from ``batch`` sources simultaneously through
+    :func:`repro.analytics.bfs.bfs_levels_multi` -- one sparse-matrix x
+    dense-matrix product per level, the k-BFS batching that makes exact
     eccentricity feasible at scale in the paper's reference [3].  On
     small-world graphs the level count is tiny, so the whole computation is
     a handful of CSR matmuls per batch.
@@ -168,40 +169,12 @@ def batched_eccentricities(
         int64 eccentricities aligned with ``vertices`` (or ``0..n-1``).
     """
     csr = g if isinstance(g, CSRGraph) else CSRGraph.from_edgelist(g)
-    n = csr.n
-    if n == 0:
+    if csr.n == 0:
         raise AssumptionError("eccentricity undefined on the empty graph")
-    adj = csr.to_scipy_sparse(dtype=np.float32)
-    sources = (
-        np.arange(n, dtype=np.int64)
-        if vertices is None
-        else np.asarray(vertices, dtype=np.int64)
-    )
-    out = np.zeros(len(sources), dtype=np.int64)
-    for start in range(0, len(sources), batch):
-        cols = sources[start : start + batch]
-        width = len(cols)
-        visited = np.zeros((n, width), dtype=bool)
-        visited[cols, np.arange(width)] = True
-        frontier = visited.astype(np.float32)
-        level = 0
-        seen = np.ones(width, dtype=np.int64)
-        while True:
-            level += 1
-            reach = (adj @ frontier) > 0
-            new = reach & ~visited
-            counts = new.sum(axis=0)
-            if not counts.any():
-                level -= 1
-                break
-            visited |= new
-            seen += counts
-            grew = counts > 0
-            out[start : start + width][grew] = level
-            frontier = new.astype(np.float32)
-        if np.any(seen != n):
-            raise AssumptionError("graph must be connected")
-    return out
+    levels = bfs_levels_multi(csr, vertices, batch=batch)
+    if np.any(levels == UNREACHABLE):
+        raise AssumptionError("graph must be connected")
+    return levels.max(axis=1)
 
 
 def exact_eccentricities(

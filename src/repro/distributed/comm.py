@@ -126,6 +126,18 @@ class Communicator(ABC):
         Returns the list indexed by source rank.  This is the edge-shuffle
         primitive: each generator rank routes produced edges to their
         storage owners in one collective.
+
+        Buffer-ownership contract
+        -------------------------
+        Received entries may be **shared, read-only buffers** rather than
+        private copies: the thread backend passes arrays by reference, and
+        the process backend's zero-copy path returns views into shared
+        memory that stay valid only for the communicator's lifetime (see
+        :mod:`repro.distributed.mpcomm`).  Callers must treat every received
+        entry as immutable, copy anything they keep or mutate, and tolerate
+        ``None`` or zero-size entries from ranks with nothing to send --
+        :func:`repro.distributed.shuffle.exchange_edges` is the reference
+        consumer.
         """
         if len(objs) != self.size:
             raise CommunicatorError(

@@ -5,12 +5,28 @@ schemes.  Each rank:
 
 1. takes its slice of the factor edge space (1-D: a shard of A with B
    replicated; 2-D: an (A-part, B-part) grid cell per Remark 1);
-2. streams its product edges in bounded chunks
-   (:func:`repro.kronecker.product.iter_kron_product`), mirroring the
-   asynchronous chunked sends of the HavoqGT implementation;
-3. optionally shuffles each chunk to storage owners
+2. streams its product edges in bounded chunks, mirroring the asynchronous
+   chunked sends of the HavoqGT implementation;
+3. optionally routes each edge to its storage owner
    (:mod:`repro.distributed.shuffle`), so generation and storage placement
    stay decoupled.
+
+Routing modes (``routing=``)
+----------------------------
+``"fused"`` (default):
+    the generate->route hot path.  Under ``source_block`` storage the
+    routed kernels of :mod:`repro.kronecker.product` emit every chunk
+    *pre-bucketed by owner* -- owner assignment is computed analytically
+    from the product index structure, so the expand-then-argsort step of
+    the legacy path disappears entirely.  Under ``edge_hash`` the chunk is
+    expanded densely but bucketed with the sort-free counting scatter.
+``"legacy"``:
+    expand -> stable-argsort bucket -> exchange, kept selectable for A/B
+    benchmarking (``benchmarks/bench_generation_remark1.py``) and as the
+    reference the equivalence property tests compare against.
+
+Both modes produce identical edge multisets; see
+``tests/property/test_routed_equivalence.py``.
 
 The rank functions are plain module-level callables taking their
 :class:`Communicator` first, runnable under any backend via
@@ -28,10 +44,16 @@ import numpy as np
 from repro.distributed.comm import Communicator
 from repro.distributed.launcher import spmd_run
 from repro.distributed.partition import partition_edges_1d, partition_edges_2d
-from repro.distributed.shuffle import shuffle_to_owners
+from repro.distributed.shuffle import exchange_edges, shuffle_to_owners
 from repro.errors import PartitionError
 from repro.graph.edgelist import EdgeList
-from repro.kronecker.product import DEFAULT_CHUNK, iter_kron_product
+from repro.kronecker.product import (
+    DEFAULT_CHUNK,
+    iter_kron_product,
+    iter_kron_product_routed,
+    kron_routed_full,
+    routed_chunk_count,
+)
 
 __all__ = [
     "RankOutput",
@@ -40,6 +62,9 @@ __all__ = [
     "generate_rank_2d",
     "generate_distributed",
 ]
+
+_ROUTINGS = ("fused", "legacy")
+_EMPTY = np.empty((0, 2), dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -62,17 +87,89 @@ class RankOutput:
     generated: int
 
 
+def _check_routing(routing: str) -> None:
+    if routing not in _ROUTINGS:
+        raise PartitionError(
+            f"unknown routing {routing!r}; use 'fused' or 'legacy'"
+        )
+
+
 def _generate_cells(
     cells: list[tuple[EdgeList, EdgeList]], chunk_size: int
 ) -> tuple[np.ndarray, int]:
-    """Stream and concatenate the product edges of this rank's cells."""
-    chunks: list[np.ndarray] = []
+    """Stream this rank's cell products into one exactly-sized array.
+
+    The product size of every cell is known up front
+    (``|E_A_part| * |E_B_part|``), so the output is allocated once and each
+    streamed chunk is written into its slice -- peak memory is the output
+    plus one chunk, half the chunk-list-then-vstack peak of the previous
+    implementation.
+    """
+    total = sum(a.m_directed * b.m_directed for a, b in cells)
+    if total == 0:
+        return _EMPTY, 0
+    edges = np.empty((total, 2), dtype=np.int64)
+    fill = 0
     for part_a, part_b in cells:
-        chunks.extend(iter_kron_product(part_a, part_b, chunk_size))
-    if not chunks:
-        return np.empty((0, 2), dtype=np.int64), 0
-    edges = np.vstack(chunks)
-    return edges, len(edges)
+        for chunk in iter_kron_product(part_a, part_b, chunk_size):
+            edges[fill : fill + len(chunk)] = chunk
+            fill += len(chunk)
+    assert fill == total
+    return edges, total
+
+
+def _generate_cells_routed(
+    cells: list[tuple[EdgeList, EdgeList]],
+    nparts: int,
+    n_c: int,
+    chunk_size: int,
+) -> tuple[list[np.ndarray], int]:
+    """Generate this rank's cells directly into per-owner buckets.
+
+    Each cell's per-owner slices are exactly preallocated by
+    :func:`kron_routed_full`; multi-cell ranks (folded 2-D grids) stack the
+    per-cell buckets owner-wise.
+    """
+    per_owner: list[list[np.ndarray]] = [[] for _ in range(nparts)]
+    generated = 0
+    for part_a, part_b in cells:
+        buckets = kron_routed_full(part_a, part_b, nparts, n_c, chunk_size)
+        for d, blk in enumerate(buckets):
+            if len(blk):
+                per_owner[d].append(blk)
+                generated += len(blk)
+    outgoing = [
+        np.vstack(blks) if len(blks) > 1 else (blks[0] if blks else _EMPTY)
+        for blks in per_owner
+    ]
+    return outgoing, generated
+
+
+def _route_and_store(
+    comm: Communicator,
+    cells: list[tuple[EdgeList, EdgeList]],
+    n_c: int,
+    storage: str | None,
+    chunk_size: int,
+    routing: str,
+) -> RankOutput:
+    """Shared body of the batch (non-pipelined) rank programs."""
+    _check_routing(routing)
+    if storage is None or comm.size == 1:
+        edges, generated = _generate_cells(cells, chunk_size)
+        return RankOutput(comm.rank, edges, generated)
+    if routing == "fused" and storage == "source_block":
+        outgoing, generated = _generate_cells_routed(
+            cells, comm.size, n_c, chunk_size
+        )
+        edges = exchange_edges(comm, outgoing)
+    else:
+        edges, generated = _generate_cells(cells, chunk_size)
+        method = "scatter" if routing == "fused" else "argsort"
+        edges = shuffle_to_owners(
+            comm, edges, scheme=storage, n=n_c, method=method
+        )
+    return RankOutput(comm.rank, edges, generated)
 
 
 def generate_rank_1d(
@@ -82,19 +179,20 @@ def generate_rank_1d(
     n_c: int,
     storage: str | None,
     chunk_size: int = DEFAULT_CHUNK,
+    routing: str = "fused",
 ) -> RankOutput:
     """Rank program for the 1-D scheme: ``C_r = A_r (x) B``.
 
     ``parts_a`` is the full shard list (replicated, tiny) and each rank
     picks ``parts_a[comm.rank]`` -- matching the paper's file-per-rank read
     without I/O in the hot path.  ``storage=None`` keeps generated edges
-    local; ``"source_block"``/``"edge_hash"`` shuffle them to owners.
+    local; ``"source_block"``/``"edge_hash"`` route them to owners, fused
+    with generation by default (see module docstring).
     """
     part = parts_a[comm.rank]
-    edges, generated = _generate_cells([(part, el_b)], chunk_size)
-    if storage is not None and comm.size > 1:
-        edges = shuffle_to_owners(comm, edges, scheme=storage, n=n_c)
-    return RankOutput(comm.rank, edges, generated)
+    return _route_and_store(
+        comm, [(part, el_b)], n_c, storage, chunk_size, routing
+    )
 
 
 def generate_rank_2d(
@@ -103,12 +201,12 @@ def generate_rank_2d(
     n_c: int,
     storage: str | None,
     chunk_size: int = DEFAULT_CHUNK,
+    routing: str = "fused",
 ) -> RankOutput:
     """Rank program for Remark 1's 2-D scheme: ``A_{r % Rh} (x) B_{r // Rh}``."""
-    edges, generated = _generate_cells(assignments[comm.rank], chunk_size)
-    if storage is not None and comm.size > 1:
-        edges = shuffle_to_owners(comm, edges, scheme=storage, n=n_c)
-    return RankOutput(comm.rank, edges, generated)
+    return _route_and_store(
+        comm, assignments[comm.rank], n_c, storage, chunk_size, routing
+    )
 
 
 def generate_distributed(
@@ -120,6 +218,7 @@ def generate_distributed(
     storage: str | None = None,
     backend: str = "thread",
     chunk_size: int = DEFAULT_CHUNK,
+    routing: str = "fused",
 ) -> tuple[EdgeList, list[RankOutput]]:
     """Generate ``C = A (x) B`` across ``nranks`` ranks and reassemble.
 
@@ -139,6 +238,9 @@ def generate_distributed(
         ``nranks == 1``).
     chunk_size:
         Max product edges materialized at once per rank.
+    routing:
+        ``"fused"`` (generate pre-bucketed, sort-free -- the default) or
+        ``"legacy"`` (expand, argsort-bucket, exchange) for A/B comparison.
 
     Returns
     -------
@@ -146,6 +248,7 @@ def generate_distributed(
         The reassembled product (row order may differ from the serial
         product; contents are identical as multisets) and per-rank outputs.
     """
+    _check_routing(routing)
     n_c = el_a.n * el_b.n
     if scheme == "1d-pipelined":
         if storage is None:
@@ -159,6 +262,7 @@ def generate_distributed(
             n_c,
             storage,
             chunk_size,
+            routing,
             backend=backend,
         )
     elif scheme == "1d":
@@ -171,6 +275,7 @@ def generate_distributed(
             n_c,
             storage,
             chunk_size,
+            routing,
             backend=backend,
         )
     elif scheme == "2d":
@@ -182,6 +287,7 @@ def generate_distributed(
             n_c,
             storage,
             chunk_size,
+            routing,
             backend=backend,
         )
     else:
@@ -195,6 +301,16 @@ def generate_distributed(
     return EdgeList(edges, n_c), outputs
 
 
+def _legacy_chunk_count(ma: int, mb: int, chunk_size: int) -> int:
+    """Chunks :func:`iter_kron_product` emits for an ``ma x mb`` product."""
+    if ma == 0 or mb == 0:
+        return 0
+    if chunk_size >= mb:
+        a_per_chunk = max(1, chunk_size // mb)
+        return -(-ma // a_per_chunk)
+    return ma * (-(-mb // chunk_size))
+
+
 def generate_rank_1d_pipelined(
     comm: Communicator,
     parts_a: list[EdgeList],
@@ -202,53 +318,69 @@ def generate_rank_1d_pipelined(
     n_c: int,
     storage: str,
     chunk_size: int = DEFAULT_CHUNK,
+    routing: str = "fused",
 ) -> RankOutput:
-    """1-D rank program with per-chunk shuffling (pipelined sends).
+    """1-D rank program with per-chunk routing (pipelined sends).
 
     The batch variant (:func:`generate_rank_1d`) generates everything and
-    shuffles once, peaking at the rank's full generated volume.  The
+    exchanges once, peaking at the rank's full generated volume.  The
     HavoqGT implementation instead sends edges *as they are produced*;
     this variant reproduces that shape: each generated chunk is routed to
     its storage owners immediately, so resident memory is bounded by
-    ``chunk_size`` plus the rank's stored share.
+    roughly one chunk plus the rank's stored share.
+
+    On the fused ``source_block`` path each chunk leaves the generation
+    kernel already split by owner (one routed-kernel call per exchange
+    round); other combinations expand then bucket per chunk, sort-free
+    under ``"fused"`` and via stable argsort under ``"legacy"``.
 
     All ranks must agree on the number of exchange rounds; the round count
     is fixed up front by an allreduce over per-rank chunk counts, with
     ranks that exhaust their chunks early participating with empty blocks.
     """
+    _check_routing(routing)
     part = parts_a[comm.rank]
     mb = el_b.m_directed
-    # Chunk count must match iter_kron_product's emission exactly: when
-    # chunk_size >= |E_B| each outer group of a_per_chunk A-edges emits one
-    # block; otherwise each single A-edge's expansion is split into
-    # ceil(|E_B| / chunk_size) sub-blocks.
-    if mb == 0 or part.m_directed == 0:
-        my_rounds = 0
-    elif chunk_size >= mb:
-        a_per_chunk = max(1, chunk_size // mb)
-        my_rounds = -(-part.m_directed // a_per_chunk)
+    fused_routed = routing == "fused" and storage == "source_block"
+    # The chunk count must match the generator's emission exactly.  The
+    # routed iterator never splits one A-edge's expansion (routing needs
+    # whole-B runs); the legacy iterator sub-chunks it when mb > chunk_size.
+    if fused_routed:
+        my_rounds = routed_chunk_count(part.m_directed, mb, chunk_size)
+        chunks = iter_kron_product_routed(part, el_b, comm.size, n_c, chunk_size)
     else:
-        my_rounds = part.m_directed * (-(-mb // chunk_size))
+        my_rounds = _legacy_chunk_count(part.m_directed, mb, chunk_size)
+        chunks = iter_kron_product(part, el_b, chunk_size)
     all_rounds = comm.allreduce(my_rounds, max)
 
+    empty_buckets = [_EMPTY] * comm.size
+    method = "scatter" if routing == "fused" else "argsort"
     stored: list[np.ndarray] = []
     generated = 0
-    chunks = iter_kron_product(part, el_b, chunk_size)
-    empty = np.empty((0, 2), dtype=np.int64)
     for _round in range(all_rounds):
         block = next(chunks, None)
-        if block is None:
-            block = empty
-        generated += len(block)
-        if comm.size > 1:
-            received = shuffle_to_owners(comm, block, scheme=storage, n=n_c)
+        if fused_routed:
+            outgoing = empty_buckets if block is None else block
+            generated += sum(len(b) for b in outgoing)
+            if comm.size > 1:
+                received = exchange_edges(comm, outgoing)
+            else:
+                received = outgoing[0]
         else:
-            received = block
+            if block is None:
+                block = _EMPTY
+            generated += len(block)
+            if comm.size > 1:
+                received = shuffle_to_owners(
+                    comm, block, scheme=storage, n=n_c, method=method
+                )
+            else:
+                received = block
         if len(received):
-            stored.append(received)
+            stored.append(np.asarray(received))
     # a rank may still hold residual chunks if per-rank chunk counts were
     # underestimated (cannot happen with the shared formula, but guard):
-    for block in chunks:  # pragma: no cover - defensive
+    for _block in chunks:  # pragma: no cover - defensive
         raise PartitionError("pipelined round count underestimated")
-    edges = np.vstack(stored) if stored else empty
+    edges = np.vstack(stored) if stored else _EMPTY
     return RankOutput(comm.rank, edges, generated)

@@ -1,34 +1,75 @@
 """``multiprocessing`` communicator backend.
 
 True multi-process SPMD execution for the generator: ranks are OS processes
-exchanging pickled messages over ``multiprocessing`` queues, the closest
-stdlib analogue to MPI point-to-point semantics.  Useful to demonstrate the
+exchanging messages over ``multiprocessing`` queues, the closest stdlib
+analogue to MPI point-to-point semantics.  Useful to demonstrate the
 generator is free of shared-state assumptions; the thread backend remains
 the default for tests (lower startup cost, no pickling).
 
-Design: a full ``size x size`` grid of SimpleQueues is created up front --
+Design: a full ``size x size`` grid of queues is created up front --
 ``pipes[src][dst]`` carries messages from ``src`` to ``dst`` -- so there is
 no central router process.  Tags are carried in-band and demultiplexed on
 the receiving side, since a process pair shares one queue.
+
+Zero-copy edge exchange
+-----------------------
+Pickling multi-megabyte edge blocks through a queue costs two full copies
+(serialize + deserialize) plus pipe traffic.  When ``zero_copy`` is enabled
+(the default), large contiguous numeric arrays are instead written once into
+a ``multiprocessing.shared_memory`` segment and only a small descriptor
+(name, shape, dtype) travels through the queue; the receiver maps the
+segment and wraps it **without copying**.  Received arrays are flagged
+read-only and stay valid for the lifetime of the receiving communicator
+(the segment is kept mapped until the rank finishes); callers that need to
+mutate or outlive the rank must copy -- the edge shuffle's ``vstack``
+already does.
+
+Segment lifecycle: the sender creates the segment, hands tracker
+responsibility over with ``resource_tracker.unregister`` (the receiving
+process re-registers on attach), and the receiver unlinks immediately after
+mapping, so the name disappears as soon as the message is consumed while the
+memory survives until the mapping is dropped.  A message that is never
+received (a crashed peer) can therefore leak its segment until reboot; the
+launcher's fail-fast error propagation makes that a pathological case only.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+from multiprocessing import resource_tracker, shared_memory
 from typing import Any
+
+import numpy as np
 
 from repro.distributed.comm import Communicator
 from repro.errors import CommunicatorError
 
-__all__ = ["ProcessCommunicator", "make_process_pipes"]
+__all__ = ["ProcessCommunicator", "make_process_pipes", "SHM_MIN_BYTES"]
 
 _RECV_TIMEOUT = 120.0
+
+#: Arrays at least this large (bytes) ride shared memory instead of pickle.
+SHM_MIN_BYTES = 1 << 16
+
+_SHM_TAG = "__shm_ndarray__"
 
 
 def make_process_pipes(size: int, ctx: mp.context.BaseContext | None = None):
     """Build the ``size x size`` queue grid shared by all ranks."""
     ctx = ctx or mp.get_context("fork")
     return [[ctx.Queue() for _dst in range(size)] for _src in range(size)]
+
+
+def _shm_wrap(arr: np.ndarray) -> tuple:
+    """Copy ``arr`` into a fresh shared segment; return its descriptor."""
+    seg = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+    view[...] = arr
+    # Hand cleanup responsibility to the receiver: it re-registers on
+    # attach and unregisters via unlink, keeping every tracker balanced.
+    resource_tracker.unregister(seg._name, "shared_memory")  # noqa: SLF001
+    seg.close()
+    return (_SHM_TAG, seg.name, arr.shape, arr.dtype.str)
 
 
 class ProcessCommunicator(Communicator):
@@ -41,14 +82,35 @@ class ProcessCommunicator(Communicator):
         or passed to the child at spawn).
     rank, size:
         This process's identity.
+    zero_copy:
+        Ship large contiguous numeric arrays through shared memory instead
+        of pickling them (see module docstring).  Received arrays are then
+        read-only views backed by segments this communicator keeps mapped.
+    shm_min_bytes:
+        Minimum array size for the shared-memory path; smaller payloads
+        pickle (segment setup would dominate).
     """
 
-    def __init__(self, pipes, rank: int, size: int) -> None:
+    def __init__(
+        self,
+        pipes,
+        rank: int,
+        size: int,
+        *,
+        zero_copy: bool = True,
+        shm_min_bytes: int | None = None,
+    ) -> None:
         self._pipes = pipes
         self._rank = rank
         self._size = size
+        self._zero_copy = bool(zero_copy)
+        # None defers to the module constant at call time so tests (and
+        # forked children) can lower the threshold via monkeypatching.
+        self._shm_min_bytes = shm_min_bytes
         # messages that arrived while waiting for a different tag
         self._stash: dict[tuple[int, int], list[Any]] = {}
+        # received segments kept mapped so returned views stay valid
+        self._segments: list[shared_memory.SharedMemory] = []
 
     @property
     def rank(self) -> int:
@@ -58,10 +120,50 @@ class ProcessCommunicator(Communicator):
     def size(self) -> int:
         return self._size
 
+    # ---- zero-copy payload handling ------------------------------------
+    def _shm_eligible(self, obj: Any) -> bool:
+        threshold = (
+            SHM_MIN_BYTES if self._shm_min_bytes is None else self._shm_min_bytes
+        )
+        return (
+            self._zero_copy
+            and isinstance(obj, np.ndarray)
+            and obj.dtype.kind in "biuf"
+            and obj.flags.c_contiguous
+            and obj.nbytes >= threshold
+        )
+
+    def _shm_unwrap(self, obj: Any) -> Any:
+        """Rehydrate a shared-memory descriptor into a read-only view."""
+        if not (isinstance(obj, tuple) and len(obj) == 4 and obj[0] == _SHM_TAG):
+            return obj
+        _, name, shape, dtype = obj
+        seg = shared_memory.SharedMemory(name=name)
+        seg.unlink()  # name gone now; memory lives while mapped
+        self._segments.append(seg)
+        arr = np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf)
+        arr.flags.writeable = False
+        return arr
+
+    def free_received_buffers(self) -> None:
+        """Drop the mappings behind previously received zero-copy arrays.
+
+        After this, arrays returned by earlier ``recv``/``alltoall`` calls
+        on the zero-copy path are invalid.  Called automatically when the
+        process exits; exposed for long-lived ranks that exchange many
+        rounds and copy what they keep.
+        """
+        for seg in self._segments:
+            seg.close()
+        self._segments.clear()
+
+    # ---- point-to-point ------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         self._check_dest(dest)
         if dest == self._rank:
             raise CommunicatorError("send to self is not supported")
+        if self._shm_eligible(obj):
+            obj = _shm_wrap(obj)
         self._pipes[self._rank][dest].put((tag, obj))
 
     def recv(self, source: int, tag: int = 0) -> Any:
@@ -80,6 +182,7 @@ class ProcessCommunicator(Communicator):
                 raise CommunicatorError(
                     f"rank {self._rank} timed out receiving from {source}"
                 ) from exc
+            obj = self._shm_unwrap(obj)
             if got_tag == tag:
                 return obj
             self._stash.setdefault((source, got_tag), []).append(obj)

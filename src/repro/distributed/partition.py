@@ -31,6 +31,7 @@ __all__ = [
     "grid_shape_2d",
     "partition_edges_2d",
     "owners_by_vertex_block",
+    "vertex_block_bounds",
     "owners_by_edge_hash",
 ]
 
@@ -95,6 +96,22 @@ def owners_by_vertex_block(vertices: np.ndarray, n: int, nparts: int) -> np.ndar
         raise PartitionError("n and nparts must be >= 1")
     v = np.asarray(vertices, dtype=np.int64)
     return (v * nparts) // n
+
+
+def vertex_block_bounds(n: int, nparts: int) -> np.ndarray:
+    """Vertex-range boundaries of the block map, inverse of
+    :func:`owners_by_vertex_block`.
+
+    Returns the ``(nparts + 1,)`` int64 array ``bounds`` with rank ``d``
+    owning exactly the vertices ``bounds[d] <= v < bounds[d + 1]``:
+    ``bounds[d] = ceil(d * n / nparts)``.  The routed generation kernel uses
+    these boundaries to assign owners analytically instead of evaluating the
+    owner map per product edge.
+    """
+    if nparts < 1 or n < 1:
+        raise PartitionError("n and nparts must be >= 1")
+    d = np.arange(nparts + 1, dtype=np.int64)
+    return -(-(d * np.int64(n)) // np.int64(nparts))
 
 
 def owners_by_edge_hash(

@@ -5,6 +5,18 @@ must then send it to the processor responsible for its storage as determined
 by some mapping scheme" (Section III).  The shuffle is deliberately
 independent of how edges were generated -- the modularity the paper calls
 out -- so both the 1-D and 2-D generators reuse it unchanged.
+
+Two bucketing kernels are provided:
+
+``method="scatter"`` (default):
+    a counting-sort scatter.  Owner ids are bounded by the world size, so
+    they fit a narrow integer dtype and numpy's stable small-integer sort is
+    a radix/counting sort -- O(m + nparts) instead of the O(m log m)
+    comparison argsort.  On a 1M-edge block with 8 owners this is ~3x the
+    legacy path (see ``benchmarks/bench_kernels.py``).
+``method="argsort"``:
+    the legacy stable comparison sort, kept selectable for A/B testing and
+    as the reference the property tests compare against.
 """
 
 from __future__ import annotations
@@ -14,18 +26,69 @@ import numpy as np
 from repro.distributed.comm import Communicator
 from repro.distributed.partition import owners_by_edge_hash, owners_by_vertex_block
 
-__all__ = ["bucket_edges", "exchange_edges", "shuffle_to_owners"]
+__all__ = [
+    "counting_scatter",
+    "bucket_edges",
+    "exchange_edges",
+    "shuffle_to_owners",
+]
 
 
-def bucket_edges(
+def _owner_sort_dtype(nparts: int) -> np.dtype:
+    """Narrowest unsigned dtype holding owner ids, to hit numpy's radix sort."""
+    if nparts <= 1 << 8:
+        return np.dtype(np.uint8)
+    if nparts <= 1 << 16:
+        return np.dtype(np.uint16)
+    # numpy's radix sort covers 1- and 2-byte ints; wider worlds fall back
+    # to a comparison sort on int32, still cheaper than int64 keys.
+    return np.dtype(np.int32)
+
+
+def _gather_rows(rows: np.ndarray, order: np.ndarray) -> np.ndarray:
+    """``rows[order]`` for 2-D row arrays, via a single flat 1-D take.
+
+    Gathering an ``(m, 2)`` int64 array row-wise through a 16-byte-element
+    view is ~3x faster than the 2-D fancy index numpy would otherwise run.
+    """
+    if (
+        rows.ndim == 2
+        and rows.shape[1] == 2
+        and rows.itemsize == 8
+        and rows.flags.c_contiguous
+    ):
+        flat = rows.view(np.complex128).reshape(-1)
+        return flat.take(order).view(rows.dtype).reshape(-1, 2)
+    return rows[order]
+
+
+def counting_scatter(
+    rows: np.ndarray, owners: np.ndarray, nparts: int
+) -> list[np.ndarray]:
+    """Split ``rows`` into ``nparts`` buckets by ``owners`` without a
+    comparison sort.
+
+    Stable (rows keep their relative order inside each bucket), so the
+    output is row-for-row identical to the legacy stable-argsort split.
+    Returned buckets are views into one backing array -- treat them as
+    read-only, like buffers received from :meth:`Communicator.alltoall`.
+    """
+    order = np.argsort(owners.astype(_owner_sort_dtype(nparts)), kind="stable")
+    sorted_rows = _gather_rows(rows, order)
+    counts = np.bincount(owners, minlength=nparts)
+    bounds = np.concatenate(([0], np.cumsum(counts)))
+    return [sorted_rows[bounds[d] : bounds[d + 1]] for d in range(nparts)]
+
+
+def edge_owners(
     edges: np.ndarray,
     nparts: int,
     *,
     scheme: str = "source_block",
     n: int | None = None,
     seed: int = 0,
-) -> list[np.ndarray]:
-    """Split an edge block into per-owner buckets.
+) -> np.ndarray:
+    """Owner rank of each edge row under a storage scheme.
 
     Schemes
     -------
@@ -37,20 +100,51 @@ def bucket_edges(
         owner is ``hash(u, v) % nparts`` -- load-balanced, direction
         independent.
     """
-    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
     if scheme == "source_block":
         if n is None:
             raise ValueError("source_block scheme requires the vertex count n")
-        owners = owners_by_vertex_block(edges[:, 0], n, nparts)
-    elif scheme == "edge_hash":
-        owners = owners_by_edge_hash(edges, nparts, seed)
-    else:
-        raise ValueError(f"unknown scheme {scheme!r}")
-    order = np.argsort(owners, kind="stable")
-    sorted_edges = edges[order]
-    counts = np.bincount(owners, minlength=nparts)
-    splits = np.cumsum(counts)[:-1]
-    return np.split(sorted_edges, splits)
+        return owners_by_vertex_block(edges[:, 0], n, nparts)
+    if scheme == "edge_hash":
+        return owners_by_edge_hash(edges, nparts, seed)
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def bucket_edges(
+    edges: np.ndarray,
+    nparts: int,
+    *,
+    scheme: str = "source_block",
+    n: int | None = None,
+    seed: int = 0,
+    method: str = "scatter",
+) -> list[np.ndarray]:
+    """Split an edge block into per-owner buckets.
+
+    See :func:`edge_owners` for the schemes and the module docstring for the
+    two bucketing ``method``s.  Both methods return identical bucket
+    contents in identical row order.
+    """
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    owners = edge_owners(edges, nparts, scheme=scheme, n=n, seed=seed)
+    if method == "scatter":
+        return counting_scatter(edges, owners, nparts)
+    if method == "argsort":
+        order = np.argsort(owners, kind="stable")
+        sorted_edges = edges[order]
+        counts = np.bincount(owners, minlength=nparts)
+        splits = np.cumsum(counts)[:-1]
+        return np.split(sorted_edges, splits)
+    raise ValueError(f"unknown bucketing method {method!r}")
+
+
+def _as_edge_block(blk: np.ndarray | None) -> np.ndarray | None:
+    """Normalize one received bucket; ``None``/empty become ``None``."""
+    if blk is None:
+        return None
+    blk = np.asarray(blk)
+    if blk.size == 0:
+        return None
+    return blk.reshape(-1, 2)
 
 
 def exchange_edges(
@@ -59,10 +153,15 @@ def exchange_edges(
     """All-to-all exchange of per-destination edge buckets.
 
     ``outgoing[d]`` is the block this rank routes to rank ``d``; returns the
-    vertical stack of everything received (own bucket included).
+    vertical stack of everything received (own bucket included).  Defensive
+    about what backends hand back: ``None`` entries and zero-size blocks of
+    any shape are skipped, and received buffers are never mutated (the
+    zero-copy process backend may return read-only shared views -- see
+    :meth:`Communicator.alltoall`); the returned stack is a fresh array this
+    rank owns.
     """
     incoming = comm.alltoall(outgoing)
-    blocks = [blk for blk in incoming if blk is not None and len(blk)]
+    blocks = [b for b in map(_as_edge_block, incoming) if b is not None]
     if not blocks:
         return np.empty((0, 2), dtype=np.int64)
     return np.vstack(blocks)
@@ -75,9 +174,10 @@ def shuffle_to_owners(
     scheme: str = "source_block",
     n: int | None = None,
     seed: int = 0,
+    method: str = "scatter",
 ) -> np.ndarray:
     """Bucket locally generated edges and exchange them in one collective."""
     outgoing = bucket_edges(
-        edges, comm.size, scheme=scheme, n=n, seed=seed
+        edges, comm.size, scheme=scheme, n=n, seed=seed, method=method
     )
     return exchange_edges(comm, outgoing)

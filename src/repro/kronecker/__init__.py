@@ -7,6 +7,11 @@ from repro.kronecker.product import (
     iter_kron_product,
     kron_power,
     product_size,
+    RoutePlanB,
+    plan_route_b,
+    kron_edge_block_routed,
+    kron_routed_full,
+    iter_kron_product_routed,
 )
 from repro.kronecker.operators import (
     SelfLoopRegime,
@@ -41,6 +46,11 @@ __all__ = [
     "iter_kron_product",
     "kron_power",
     "product_size",
+    "RoutePlanB",
+    "plan_route_b",
+    "kron_edge_block_routed",
+    "kron_routed_full",
+    "iter_kron_product_routed",
     "SelfLoopRegime",
     "kron_with_full_loops",
     "undirected_edge_count_with_loops",

@@ -1,0 +1,99 @@
+"""Zero-copy shared-memory exchange on the process backend."""
+
+import numpy as np
+import pytest
+
+import repro.distributed.mpcomm as mpcomm
+from repro.distributed import spmd_run
+from repro.distributed.shuffle import exchange_edges
+
+
+@pytest.fixture()
+def tiny_threshold(monkeypatch):
+    """Force every array through shared memory (fork children inherit it)."""
+    monkeypatch.setattr(mpcomm, "SHM_MIN_BYTES", 1)
+
+
+def _payload(rank: int) -> np.ndarray:
+    return (np.arange(40_000, dtype=np.int64) + rank).reshape(-1, 2)
+
+
+def test_alltoall_roundtrip_shared_memory(tiny_threshold):
+    def fn(comm):
+        out = comm.alltoall([_payload(comm.rank)] * comm.size)
+        ok = all(np.array_equal(out[r], _payload(r)) for r in range(comm.size))
+        remote_read_only = all(
+            not out[r].flags.writeable
+            for r in range(comm.size)
+            if r != comm.rank
+        )
+        return ok and remote_read_only
+
+    assert spmd_run(fn, 3, backend="process") == [True, True, True]
+
+
+def test_send_recv_large_array_content(tiny_threshold):
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send(_payload(7), dest=1, tag=5)
+            return True
+        got = comm.recv(0, tag=5)
+        return np.array_equal(got, _payload(7)) and not got.flags.writeable
+
+    assert spmd_run(fn, 2, backend="process") == [True, True]
+
+
+def test_small_and_nonarray_messages_still_pickle(tiny_threshold):
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send({"k": [1, 2]}, dest=1)
+            return True
+        return comm.recv(0) == {"k": [1, 2]}
+
+    assert spmd_run(fn, 2, backend="process") == [True, True]
+
+
+def test_zero_copy_disabled_sends_plain_arrays(tiny_threshold):
+    def fn(comm):
+        comm._zero_copy = False
+        if comm.rank == 0:
+            comm.send(_payload(1), dest=1)
+            return True
+        got = comm.recv(0)
+        # pickled copies arrive writeable
+        return np.array_equal(got, _payload(1)) and got.flags.writeable
+
+    assert spmd_run(fn, 2, backend="process") == [True, True]
+
+
+def test_free_received_buffers(tiny_threshold):
+    def fn(comm):
+        out = comm.alltoall([_payload(comm.rank)] * comm.size)
+        copies = [np.array(b) for b in out]
+        comm.free_received_buffers()
+        return all(np.array_equal(c, _payload(r)) for r, c in enumerate(copies))
+
+    assert spmd_run(fn, 2, backend="process") == [True, True]
+
+
+def test_exchange_edges_over_shared_memory(tiny_threshold):
+    def fn(comm):
+        outgoing = [_payload(comm.rank) for _ in range(comm.size)]
+        got = exchange_edges(comm, outgoing)
+        expect = np.vstack([_payload(r) for r in range(comm.size)])
+        key = lambda e: np.sort(e[:, 0] * 10**9 + e[:, 1])  # noqa: E731
+        return np.array_equal(key(got), key(expect)) and got.flags.writeable
+
+    assert spmd_run(fn, 3, backend="process") == [True, True, True]
+
+
+def test_default_threshold_keeps_tiny_arrays_off_shm():
+    def fn(comm):
+        small = np.arange(4, dtype=np.int64)
+        if comm.rank == 0:
+            comm.send(small, dest=1)
+            return True
+        got = comm.recv(0)
+        return np.array_equal(got, small) and got.flags.writeable
+
+    assert spmd_run(fn, 2, backend="process") == [True, True]
