@@ -9,6 +9,7 @@ Kronecker graph", plus ground-truth and validation commands::
     repro-kron validate    A.txt B.txt            # formula-vs-direct checks
     repro-kron scaling-table A.txt B.txt          # the Section-I table
     repro-kron experiments                        # full E1-E8 + ablations
+    repro-kron lint src --baseline lint-baseline.json   # SPMD static analysis
 
 Factor files are detected by extension: ``.txt``/``.tsv``/``.el`` (edge
 list), ``.npz`` (binary), ``.mtx``/``.mm`` (Matrix Market).
@@ -140,6 +141,13 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the SPMD correctness static analysis (see :mod:`repro.lint`)."""
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 # --------------------------------------------------------------------- #
 # parser
 # --------------------------------------------------------------------- #
@@ -192,6 +200,14 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--full", action="store_true",
                    help="paper-scale factors (slow)")
     e.set_defaults(func=cmd_experiments)
+
+    from repro.lint.cli import add_lint_arguments
+
+    lint = sub.add_parser(
+        "lint", help="SPMD correctness static analysis (repro.lint)"
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -5,7 +5,9 @@ from repro.distributed.comm import (
     InlineCommunicator,
     ThreadCommunicator,
     make_thread_world,
+    recv_timeout,
 )
+from repro.distributed.checked import CheckedCommunicator, SentinelLedger
 from repro.distributed.mpcomm import ProcessCommunicator, make_process_pipes
 from repro.distributed.launcher import spmd_run
 from repro.distributed.partition import (
@@ -48,6 +50,9 @@ __all__ = [
     "InlineCommunicator",
     "ThreadCommunicator",
     "make_thread_world",
+    "recv_timeout",
+    "CheckedCommunicator",
+    "SentinelLedger",
     "ProcessCommunicator",
     "make_process_pipes",
     "spmd_run",

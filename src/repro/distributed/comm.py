@@ -23,6 +23,7 @@ process (callers must not mutate received buffers).
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 from abc import ABC, abstractmethod
@@ -30,11 +31,38 @@ from typing import Any, Callable
 
 from repro.errors import CommunicatorError
 
-__all__ = ["Communicator", "InlineCommunicator", "ThreadCommunicator", "make_thread_world"]
+__all__ = [
+    "Communicator",
+    "InlineCommunicator",
+    "ThreadCommunicator",
+    "make_thread_world",
+    "recv_timeout",
+]
 
 #: Default timeout (seconds) after which a blocked recv raises instead of
-#: deadlocking the test suite.
+#: deadlocking the test suite.  Overridable per run via the
+#: ``REPRO_RECV_TIMEOUT`` environment variable (see :func:`recv_timeout`).
 _RECV_TIMEOUT = 60.0
+
+#: Environment variable overriding the blocked-recv/barrier timeout.
+RECV_TIMEOUT_ENV = "REPRO_RECV_TIMEOUT"
+
+
+def recv_timeout(default: float = _RECV_TIMEOUT) -> float:
+    """Effective recv/barrier timeout in seconds.
+
+    Reads ``REPRO_RECV_TIMEOUT`` at call time so long-running services and
+    tests can tighten or relax it without code changes; falls back to
+    ``default`` when unset or unparsable.
+    """
+    raw = os.environ.get(RECV_TIMEOUT_ENV)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else default
 
 
 class Communicator(ABC):
@@ -217,22 +245,55 @@ class ThreadCommunicator(Communicator):
         self._check_dest(source)
         if source == self._rank:
             raise CommunicatorError("recv from self is not supported")
+        timeout = recv_timeout()
         try:
             return self._world.box(self._rank, source, tag).get(
-                timeout=_RECV_TIMEOUT
+                timeout=timeout
             )
         except queue.Empty as exc:
             raise CommunicatorError(
-                f"rank {self._rank} timed out receiving from {source} (tag {tag})"
+                f"rank {self._rank} timed out after {timeout:g}s waiting to "
+                f"receive from rank {source} (tag {tag}); the sender never "
+                f"sent or died -- run under REPRO_CHECK_COLLECTIVES=1 to "
+                f"diagnose collective-order divergence"
             ) from exc
 
     def barrier(self) -> None:
-        self._world.barrier.wait(timeout=_RECV_TIMEOUT)
+        timeout = recv_timeout()
+        try:
+            self._world.barrier.wait(timeout=timeout)
+        except threading.BrokenBarrierError as exc:
+            raise CommunicatorError(
+                f"rank {self._rank} timed out after {timeout:g}s in barrier "
+                f"(size {self.size}); some rank never arrived -- run under "
+                f"REPRO_CHECK_COLLECTIVES=1 to diagnose"
+            ) from exc
 
 
-def make_thread_world(size: int) -> list[ThreadCommunicator]:
-    """Create ``size`` communicators sharing one thread world."""
+def make_thread_world(
+    size: int, *, checked: bool | None = None
+) -> list[Communicator]:
+    """Create ``size`` communicators sharing one thread world.
+
+    ``checked=True`` wraps every rank in the runtime collective-order
+    sentinel (:class:`repro.distributed.checked.CheckedCommunicator`),
+    which converts collective-sequence divergence into a diagnostic
+    naming both call sites.  ``checked=None`` (default) defers to the
+    ``REPRO_CHECK_COLLECTIVES`` environment variable.
+    """
     if size < 1:
         raise CommunicatorError(f"world size must be >= 1, got {size}")
     world = _ThreadWorld(size)
-    return [ThreadCommunicator(world, r) for r in range(size)]
+    comms: list[Communicator] = [
+        ThreadCommunicator(world, r) for r in range(size)
+    ]
+    if checked is None:
+        from repro.distributed.checked import checked_env_enabled
+
+        checked = checked_env_enabled()
+    if checked:
+        from repro.distributed.checked import CheckedCommunicator, SentinelLedger
+
+        ledger = SentinelLedger(size)
+        comms = [CheckedCommunicator(c, ledger) for c in comms]
+    return comms

@@ -25,6 +25,7 @@ import threading
 import traceback
 from typing import Any, Callable
 
+from repro.distributed.checked import CheckedCommunicator
 from repro.distributed.comm import InlineCommunicator, make_thread_world
 from repro.distributed.mpcomm import ProcessCommunicator, make_process_pipes
 from repro.errors import CommunicatorError
@@ -34,8 +35,10 @@ __all__ = ["spmd_run"]
 RankFn = Callable[..., Any]
 
 
-def _run_threads(fn: RankFn, nranks: int, args: tuple) -> list[Any]:
-    comms = make_thread_world(nranks)
+def _run_threads(
+    fn: RankFn, nranks: int, args: tuple, checked: bool | None
+) -> list[Any]:
+    comms = make_thread_world(nranks, checked=checked)
     results: list[Any] = [None] * nranks
     errors: list[tuple[int, BaseException, str]] = []
     lock = threading.Lock()
@@ -46,6 +49,12 @@ def _run_threads(fn: RankFn, nranks: int, args: tuple) -> list[Any]:
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             with lock:
                 errors.append((r, exc, traceback.format_exc()))
+        finally:
+            if isinstance(comms[r], CheckedCommunicator):
+                # Tell the sentinel this rank's program is over, so peers
+                # still waiting on a collective fail fast with a
+                # divergence diagnostic instead of a timeout.
+                comms[r].finish()
 
     threads = [
         threading.Thread(target=worker, args=(r,), name=f"rank-{r}", daemon=True)
@@ -112,6 +121,7 @@ def spmd_run(
     nranks: int,
     *args: Any,
     backend: str = "thread",
+    checked: bool | None = None,
 ) -> list[Any]:
     """Execute ``fn(comm, *args)`` on every rank; return results in rank order.
 
@@ -126,6 +136,14 @@ def spmd_run(
         like the paper's replicated factor ``B``).
     backend:
         ``"inline"``, ``"thread"``, or ``"process"``.
+    checked:
+        Run under the collective-order sentinel
+        (:mod:`repro.distributed.checked`): divergent collective sequences
+        raise a diagnostic naming both call sites instead of deadlocking.
+        ``None`` defers to the ``REPRO_CHECK_COLLECTIVES`` environment
+        variable (thread backend only; the single-rank inline world is
+        trivially symmetric, and the fork-based process backend rejects an
+        explicit ``checked=True`` rather than silently skipping the check).
     """
     if nranks < 1:
         raise CommunicatorError(f"nranks must be >= 1, got {nranks}")
@@ -134,7 +152,12 @@ def spmd_run(
             raise CommunicatorError("inline backend supports only nranks == 1")
         return [fn(InlineCommunicator(), *args)]
     if backend == "thread":
-        return _run_threads(fn, nranks, args)
+        return _run_threads(fn, nranks, args, checked)
     if backend == "process":
+        if checked:
+            raise CommunicatorError(
+                "checked collective mode needs in-process shared state; "
+                "it supports the thread backend only"
+            )
         return _run_processes(fn, nranks, args)
     raise CommunicatorError(f"unknown backend {backend!r}")

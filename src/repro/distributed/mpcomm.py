@@ -41,11 +41,14 @@ from typing import Any
 
 import numpy as np
 
-from repro.distributed.comm import Communicator
+from repro.distributed.comm import Communicator, recv_timeout
 from repro.errors import CommunicatorError
 
 __all__ = ["ProcessCommunicator", "make_process_pipes", "SHM_MIN_BYTES"]
 
+#: Default blocked-recv timeout for the process backend (higher than the
+#: thread backend: fork + pickling adds real latency).  Overridable via
+#: the ``REPRO_RECV_TIMEOUT`` environment variable, like the thread world.
 _RECV_TIMEOUT = 120.0
 
 #: Arrays at least this large (bytes) ride shared memory instead of pickle.
@@ -175,12 +178,15 @@ class ProcessCommunicator(Communicator):
         if stash:
             return stash.pop(0)
         q = self._pipes[source][self._rank]
+        timeout = recv_timeout(_RECV_TIMEOUT)
         while True:
             try:
-                got_tag, obj = q.get(timeout=_RECV_TIMEOUT)
+                got_tag, obj = q.get(timeout=timeout)
             except Exception as exc:  # queue.Empty re-exported differently
                 raise CommunicatorError(
-                    f"rank {self._rank} timed out receiving from {source}"
+                    f"rank {self._rank} timed out after {timeout:g}s waiting "
+                    f"to receive from rank {source} (tag {tag}); the sender "
+                    f"never sent or died"
                 ) from exc
             obj = self._shm_unwrap(obj)
             if got_tag == tag:

@@ -137,7 +137,9 @@ def distributed_edge_triangles(
                 "local edges contain rows outside this rank's source block"
             )
     csr = local_rows_csr(edges, n)
-    remote = fetch_remote_rows(comm, csr, edges[:, 1] if len(edges) else np.empty(0), n)
+    remote = fetch_remote_rows(
+        comm, csr, edges[:, 1] if len(edges) else np.empty(0, dtype=np.int64), n
+    )
     counts = _intersection_sizes(csr, edges, remote)
     return edges, counts
 

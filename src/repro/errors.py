@@ -14,6 +14,7 @@ __all__ = [
     "AssumptionError",
     "PartitionError",
     "CommunicatorError",
+    "CollectiveOrderError",
     "ExperimentError",
 ]
 
@@ -50,6 +51,15 @@ class CommunicatorError(ReproError):
 
     Examples: mismatched collective participation, send to an out-of-range
     rank, or use of a communicator after shutdown.
+    """
+
+
+class CollectiveOrderError(CommunicatorError):
+    """Ranks diverged in their collective call sequence.
+
+    Raised by the runtime sentinel (:mod:`repro.distributed.checked`)
+    instead of letting the mismatched world deadlock; the message names
+    the divergent call sites on both ranks.
     """
 
 

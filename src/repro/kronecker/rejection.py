@@ -123,7 +123,9 @@ class RejectionFamily:
             np.vstack(kept_edges) if kept_edges else np.empty((0, 2), dtype=np.int64)
         )
         hashes = (
-            np.concatenate(kept_hashes) if kept_hashes else np.empty(0)
+            np.concatenate(kept_hashes)
+            if kept_hashes
+            else np.empty(0, dtype=np.float64)
         )
         return {
             nu: EdgeList(edges[hashes <= nu], self.n) for nu in nus

@@ -1,0 +1,68 @@
+"""SPMD correctness static analysis for the repro codebase.
+
+The distributed generator is an SPMD program whose correctness rests on
+invariants the Python runtime cannot enforce:
+
+* every rank must execute the **same collective sequence** -- a
+  ``barrier`` reachable only under ``if comm.rank == 0`` deadlocks the
+  world (Section III's asynchronous generation);
+* buffers received from ``recv``/``alltoall``/``allgather`` may be
+  **shared, read-only views** and must never be mutated in place (the
+  contract of :meth:`repro.distributed.comm.Communicator.alltoall`);
+* Kronecker index arithmetic (``i * n_B + k``) must stay in **int64**,
+  and allocations feeding it need explicit dtypes;
+* ground-truth output must be **deterministic**: no unordered ``set``
+  iteration feeding edges, no process-global ``np.random`` state, no
+  time-derived seeds.
+
+This package makes those invariants machine-checked: an AST-based rule
+framework (:mod:`repro.lint.core`) with four rule families
+(:mod:`repro.lint.rules`), per-line ``# repro-lint: disable=RULE``
+suppressions, a checked-in findings baseline (:mod:`repro.lint.baseline`)
+so CI fails only on *new* findings, and human/JSON reporters behind
+``python -m repro.lint`` (:mod:`repro.lint.cli`).
+
+The dynamic companion -- the runtime collective-order sentinel that turns
+a would-be deadlock into a diagnostic naming both divergent call sites --
+lives in :mod:`repro.distributed.checked`.
+"""
+
+from repro.lint.baseline import (
+    filter_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.core import (
+    Finding,
+    LintContext,
+    Rule,
+    all_rules,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register,
+)
+from repro.lint.rules import (
+    BufferOwnershipRule,
+    CollectiveSymmetryRule,
+    DeterminismRule,
+    DtypeOverflowRule,
+)
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Rule",
+    "all_rules",
+    "register",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "load_baseline",
+    "write_baseline",
+    "filter_baseline",
+    "CollectiveSymmetryRule",
+    "BufferOwnershipRule",
+    "DtypeOverflowRule",
+    "DeterminismRule",
+]

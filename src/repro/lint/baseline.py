@@ -1,0 +1,88 @@
+"""Findings baseline: CI fails only on *new* findings.
+
+A baseline is a checked-in JSON file recording the fingerprints of known
+(accepted or not-yet-fixed) findings.  Fingerprints are content-addressed
+-- ``sha1(path :: rule :: stripped source line :: occurrence index)`` --
+so they survive unrelated line drift: moving a suppressed line ten lines
+down does not invalidate the baseline, while editing the line (or adding
+a second identical violation) does surface it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import defaultdict
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.core import Finding
+
+__all__ = [
+    "fingerprints",
+    "load_baseline",
+    "write_baseline",
+    "filter_baseline",
+]
+
+_VERSION = 1
+
+
+def fingerprints(findings: Iterable[Finding]) -> list[tuple[Finding, str]]:
+    """Pair each finding with its stable fingerprint.
+
+    Findings sharing ``(path, rule, snippet)`` are disambiguated by their
+    occurrence index in line order, so N identical violations baseline as
+    N distinct fingerprints and an N+1st is reported as new.
+    """
+    by_key: dict[tuple[str, str, str], list[Finding]] = defaultdict(list)
+    for f in findings:
+        by_key[(f.path, f.rule, f.snippet)].append(f)
+    out: list[tuple[Finding, str]] = []
+    for key, group in by_key.items():
+        group.sort(key=lambda f: (f.line, f.col))
+        for occurrence, f in enumerate(group):
+            raw = "::".join((*key, str(occurrence)))
+            out.append((f, hashlib.sha1(raw.encode("utf-8")).hexdigest()))
+    out.sort(key=lambda pair: (pair[0].path, pair[0].line, pair[0].col))
+    return out
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> int:
+    """Write a baseline file covering ``findings``; returns the count."""
+    entries = [
+        {
+            "fingerprint": fp,
+            "rule": f.rule,
+            "path": f.path,
+            "snippet": f.snippet,
+        }
+        for f, fp in fingerprints(findings)
+    ]
+    payload = {
+        "version": _VERSION,
+        "tool": "repro.lint",
+        "findings": entries,
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    return len(entries)
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """Read the fingerprint set from a baseline file."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} "
+            f"in {path}"
+        )
+    return {e["fingerprint"] for e in payload.get("findings", [])}
+
+
+def filter_baseline(
+    findings: Iterable[Finding], baseline: set[str]
+) -> list[Finding]:
+    """Drop findings whose fingerprint is covered by the baseline."""
+    return [f for f, fp in fingerprints(findings) if fp not in baseline]

@@ -1,0 +1,113 @@
+"""Command-line driver: ``python -m repro.lint [paths...]``.
+
+Exit codes: ``0`` clean (after suppressions and baseline), ``1`` findings
+reported, ``2`` usage or internal error -- the semantics CI keys off.
+The same arguments are mounted as the ``repro-kron lint`` subcommand by
+:mod:`repro.cli`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.lint.baseline import filter_baseline, load_baseline, write_baseline
+from repro.lint.core import Finding, all_rules, lint_paths
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Mount the lint options on an (sub)parser."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        dest="output_format", help="report format",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="suppress findings fingerprinted in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="write current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+
+
+def _print_rules() -> None:
+    for rule in all_rules():
+        scope = (
+            f" [scope: {', '.join(rule.scope_dirs)}/]" if rule.scope_dirs else ""
+        )
+        print(f"{rule.name:<22} {rule.severity:<8} {rule.description}{scope}")
+
+
+def _report(findings: list[Finding], fmt: str) -> None:
+    if fmt == "json":
+        print(json.dumps([f.to_json() for f in findings], indent=2))
+        return
+    for f in findings:
+        print(f.format_human())
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    if findings:
+        print(f"\n{len(findings)} finding(s): {errors} error(s), "
+              f"{warnings} warning(s)")
+    else:
+        print("no findings")
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    if args.list_rules:
+        _print_rules()
+        return 0
+    try:
+        select = (
+            [s.strip() for s in args.select.split(",") if s.strip()]
+            if args.select
+            else None
+        )
+        rules = all_rules(select)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        findings = lint_paths(args.paths, rules=rules)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        count = write_baseline(args.write_baseline, findings)
+        print(f"wrote {count} fingerprint(s) to {args.write_baseline}")
+        return 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        findings = filter_baseline(findings, baseline)
+    _report(findings, args.output_format)
+    return 1 if findings else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="SPMD correctness static analysis for the repro codebase",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))

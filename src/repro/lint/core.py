@@ -1,0 +1,295 @@
+"""Rule framework for the SPMD correctness linter.
+
+A *rule* is a small AST pass: it receives a parsed module plus a
+:class:`LintContext` and yields :class:`Finding` objects.  Rules register
+themselves in a module-level registry via the :func:`register` decorator so
+the CLI and tests discover them uniformly.
+
+Suppressions
+------------
+Findings can be silenced in source with trailing comments::
+
+    comm.barrier()          # repro-lint: disable=collective-symmetry
+    buf[0] = 1              # repro-lint: disable=all
+
+and file-wide (anywhere in the file, conventionally near the top)::
+
+    # repro-lint: disable-file=dtype-overflow
+
+Multiple rule names are comma-separated.  Suppression is applied centrally
+by :func:`lint_source` after the rules run, so rules never need to know
+about it.
+
+Scoping
+-------
+A rule may declare ``scope_dirs``: it then only fires on files whose path
+contains one of those directory components (the dtype and determinism
+families only apply to the Kronecker index/ground-truth code, per the
+invariants they encode).
+"""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+]
+
+#: Marker prefix for suppression comments.
+_PRAGMA = "repro-lint:"
+
+#: Severities in increasing order of badness.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a rule.
+
+    ``snippet`` is the stripped source line the finding anchors to; the
+    baseline fingerprints findings by ``(path, rule, snippet, occurrence)``
+    so they survive unrelated line drift.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    def format_human(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity}[{self.rule}] {self.message}"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+@dataclass
+class LintContext:
+    """Per-file state handed to every rule."""
+
+    path: str
+    source: str
+    lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(
+        self, rule: "Rule", node: ast.AST, message: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule.name,
+            severity=rule.severity,
+            path=self.path,
+            line=line,
+            col=col,
+            message=message,
+            snippet=self.snippet(line),
+        )
+
+
+class Rule(ABC):
+    """Base class for lint rules.
+
+    Subclasses set ``name`` (the suppression/selection identifier),
+    ``severity`` (``"error"`` or ``"warning"``), a one-line
+    ``description``, and optionally ``scope_dirs`` restricting which
+    directories the rule applies to.
+    """
+
+    name: str = ""
+    severity: str = "warning"
+    description: str = ""
+    #: Directory components the rule is limited to; empty = everywhere.
+    scope_dirs: tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        if not self.scope_dirs:
+            return True
+        parts = Path(path).parts
+        return any(d in parts for d in self.scope_dirs)
+
+    @abstractmethod
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterable[Finding]:
+        """Yield findings for one parsed module."""
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.name:
+        raise ValueError(f"rule {cls.__name__} has no name")
+    if cls.severity not in SEVERITIES:
+        raise ValueError(f"rule {cls.name} has invalid severity {cls.severity!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_rules(select: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate registered rules, optionally restricted to ``select``."""
+    # Import for side effect: rule modules self-register on first use.
+    import repro.lint.rules  # noqa: F401
+
+    if select is None:
+        names = sorted(_REGISTRY)
+    else:
+        names = list(select)
+        unknown = [n for n in names if n not in _REGISTRY]
+        if unknown:
+            raise ValueError(
+                f"unknown rule(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(_REGISTRY))}"
+            )
+    return [_REGISTRY[n]() for n in names]
+
+
+# --------------------------------------------------------------------- #
+# suppression comments
+# --------------------------------------------------------------------- #
+def _parse_pragma(comment: str) -> tuple[str, set[str]] | None:
+    """Parse one ``repro-lint:`` pragma; returns (kind, rule names)."""
+    text = comment.split(_PRAGMA, 1)[1].strip()
+    for kind in ("disable-file", "disable"):
+        if text.startswith(kind + "="):
+            names = {
+                n.strip() for n in text[len(kind) + 1 :].split(",") if n.strip()
+            }
+            return kind, names
+    return None
+
+
+def _collect_suppressions(
+    lines: list[str],
+) -> tuple[dict[int, set[str]], set[str]]:
+    """Per-line and file-wide suppressed rule names from pragma comments."""
+    by_line: dict[int, set[str]] = {}
+    whole_file: set[str] = set()
+    for lineno, line in enumerate(lines, start=1):
+        if _PRAGMA not in line:
+            continue
+        hash_pos = line.find("#")
+        if hash_pos < 0 or _PRAGMA not in line[hash_pos:]:
+            continue
+        parsed = _parse_pragma(line[hash_pos:])
+        if parsed is None:
+            continue
+        kind, names = parsed
+        if kind == "disable-file":
+            whole_file |= names
+        else:
+            by_line.setdefault(lineno, set()).update(names)
+    return by_line, whole_file
+
+
+def _suppressed(
+    finding: Finding,
+    by_line: dict[int, set[str]],
+    whole_file: set[str],
+) -> bool:
+    for names in (whole_file, by_line.get(finding.line, ())):
+        if finding.rule in names or "all" in names:
+            return True
+    return False
+
+
+# --------------------------------------------------------------------- #
+# drivers
+# --------------------------------------------------------------------- #
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Iterable[Rule] | None = None,
+) -> list[Finding]:
+    """Lint one source string; returns findings sorted by position."""
+    rules = list(rules) if rules is not None else all_rules()
+    ctx = LintContext(path=path, source=source)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="parse-error",
+                severity="error",
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"could not parse file: {exc.msg}",
+                snippet=ctx.snippet(exc.lineno or 1),
+            )
+        ]
+    by_line, whole_file = _collect_suppressions(ctx.lines)
+    findings: list[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(path):
+            continue
+        for f in rule.check(tree, ctx):
+            if not _suppressed(f, by_line, whole_file):
+                findings.append(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(path: Path, rules: Iterable[Rule] | None = None) -> list[Finding]:
+    """Lint one file (path recorded relative to the current directory)."""
+    text = path.read_text(encoding="utf-8")
+    try:
+        rel = path.resolve().relative_to(Path.cwd())
+    except ValueError:
+        rel = path
+    return lint_source(text, path=rel.as_posix(), rules=rules)
+
+
+def _iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for p in paths:
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rules: Iterable[Rule] | None = None,
+) -> list[Finding]:
+    """Lint every ``.py`` file under the given files/directories."""
+    rules = list(rules) if rules is not None else all_rules()
+    findings: list[Finding] = []
+    for path in _iter_python_files(Path(p) for p in paths):
+        findings.extend(lint_file(path, rules=rules))
+    return findings

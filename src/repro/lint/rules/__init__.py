@@ -1,0 +1,30 @@
+"""The four SPMD rule families.
+
+Importing this package registers every rule with the framework registry
+(:func:`repro.lint.core.register`):
+
+``collective-symmetry`` (error)
+    collectives reachable only under rank-dependent control flow deadlock
+    the world.
+``buffer-ownership`` (error)
+    buffers received from collectives/``recv`` may be shared read-only
+    views and must not be mutated in place.
+``dtype-overflow`` (warning)
+    Kronecker index arithmetic must stay int64; allocations in the index
+    path need explicit dtypes.
+``determinism`` (warning)
+    ground-truth output must not depend on set iteration order, global
+    ``np.random`` state, or time-derived seeds.
+"""
+
+from repro.lint.rules.buffers import BufferOwnershipRule
+from repro.lint.rules.collectives import CollectiveSymmetryRule
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.dtypes import DtypeOverflowRule
+
+__all__ = [
+    "CollectiveSymmetryRule",
+    "BufferOwnershipRule",
+    "DtypeOverflowRule",
+    "DeterminismRule",
+]

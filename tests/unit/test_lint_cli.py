@@ -1,0 +1,132 @@
+"""CLI, baseline, and repo-cleanliness tests for repro.lint."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import filter_baseline, lint_paths, load_baseline, write_baseline
+from repro.lint.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BAD_COMM = textwrap.dedent(
+    """
+    def f(comm, x):
+        if comm.rank == 0:
+            comm.barrier()
+        data = comm.alltoall(x)
+        data[0] = 99
+    """
+)
+
+
+@pytest.fixture
+def bad_tree(tmp_path):
+    pkg = tmp_path / "distributed"
+    pkg.mkdir()
+    (pkg / "bad.py").write_text(BAD_COMM)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_findings_exit_1(self, bad_tree, capsys):
+        assert lint_main([str(bad_tree)]) == 1
+        out = capsys.readouterr().out
+        assert "collective-symmetry" in out
+        assert "buffer-ownership" in out
+
+    def test_clean_tree_exit_0(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("def f(comm):\n    comm.barrier()\n")
+        assert lint_main([str(tmp_path)]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_unknown_rule_exit_2(self, tmp_path):
+        assert lint_main([str(tmp_path), "--select", "bogus"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in (
+            "collective-symmetry",
+            "buffer-ownership",
+            "dtype-overflow",
+            "determinism",
+        ):
+            assert rule in out
+
+
+class TestJsonOutput:
+    def test_json_schema(self, bad_tree, capsys):
+        assert lint_main([str(bad_tree), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and payload
+        first = payload[0]
+        assert {"rule", "severity", "path", "line", "col", "message"} <= set(first)
+
+
+class TestBaseline:
+    def test_roundtrip_suppresses_known_findings(self, bad_tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([str(bad_tree), "--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        # same findings now baselined -> clean
+        assert lint_main([str(bad_tree), "--baseline", str(baseline)]) == 0
+
+    def test_new_finding_not_masked(self, bad_tree, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        lint_main([str(bad_tree), "--write-baseline", str(baseline)])
+        capsys.readouterr()
+        extra = bad_tree / "distributed" / "new.py"
+        extra.write_text("def g(comm):\n    comm.recv(0).sort()\n")
+        findings = lint_paths([bad_tree])
+        fresh = filter_baseline(findings, load_baseline(baseline))
+        assert {f.rule for f in fresh} == {"buffer-ownership"}
+        assert all("new.py" in f.path for f in fresh)
+
+    def test_line_drift_stays_baselined(self, bad_tree, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, lint_paths([bad_tree]))
+        bad = bad_tree / "distributed" / "bad.py"
+        bad.write_text("# a new leading comment\n\n" + bad.read_text())
+        fresh = filter_baseline(
+            lint_paths([bad_tree]), load_baseline(baseline)
+        )
+        assert fresh == []
+
+    def test_duplicate_findings_counted(self, tmp_path):
+        pkg = tmp_path / "distributed"
+        pkg.mkdir()
+        one = "def f(comm):\n    if comm.rank == 0:\n        comm.barrier()\n"
+        (pkg / "dup.py").write_text(one)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, lint_paths([tmp_path]))
+        # a second identical violation in the same file is NOT baselined
+        (pkg / "dup.py").write_text(
+            one + "def g(comm):\n    if comm.rank == 0:\n        comm.barrier()\n"
+        )
+        fresh = filter_baseline(lint_paths([tmp_path]), load_baseline(baseline))
+        assert len(fresh) == 1
+
+    def test_bad_baseline_exit_2(self, bad_tree, tmp_path):
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        assert lint_main([str(bad_tree), "--baseline", str(broken)]) == 2
+
+
+class TestRepoIsClean:
+    def test_src_lints_clean_with_checked_in_baseline(self):
+        """The acceptance gate: `python -m repro.lint src` exits 0."""
+        findings = lint_paths([REPO_ROOT / "src"])
+        baseline = load_baseline(REPO_ROOT / "lint-baseline.json")
+        fresh = filter_baseline(findings, baseline)
+        assert fresh == [], "\n".join(f.format_human() for f in fresh)
+
+
+class TestKronSubcommand:
+    def test_repro_kron_lint(self, bad_tree, capsys):
+        from repro.cli import main as kron_main
+
+        assert kron_main(["lint", str(bad_tree)]) == 1
+        assert "collective-symmetry" in capsys.readouterr().out

@@ -1,0 +1,425 @@
+"""Per-rule fixture tests for repro.lint: each family must catch its
+seeded violation and stay quiet on the known-good twin."""
+
+import textwrap
+
+import pytest
+
+from repro.lint import all_rules, lint_source
+
+
+def findings_for(source, path="distributed/mod.py", select=None):
+    rules = all_rules(select) if select else all_rules()
+    return lint_source(textwrap.dedent(source), path=path, rules=rules)
+
+
+def rules_hit(source, path="distributed/mod.py"):
+    return {f.rule for f in findings_for(source, path)}
+
+
+class TestCollectiveSymmetry:
+    def test_rank_guarded_barrier_flagged(self):
+        fs = findings_for(
+            """
+            def f(comm):
+                if comm.rank == 0:
+                    comm.barrier()
+            """
+        )
+        assert [f.rule for f in fs] == ["collective-symmetry"]
+        assert fs[0].severity == "error"
+        assert "barrier" in fs[0].message
+
+    def test_rank_guarded_early_exit_flagged(self):
+        fs = findings_for(
+            """
+            def f(comm, x):
+                if comm.rank == 0:
+                    return None
+                return comm.allreduce(x, max)
+            """
+        )
+        assert [f.rule for f in fs] == ["collective-symmetry"]
+        assert "early exit" in fs[0].message
+
+    def test_rank_dependent_while_flagged(self):
+        fs = findings_for(
+            """
+            def f(comm):
+                while comm.rank < comm.size - 1:
+                    comm.bcast(1)
+            """
+        )
+        assert [f.rule for f in fs] == ["collective-symmetry"]
+
+    @pytest.mark.parametrize(
+        "op", ["barrier()", "bcast(1)", "gather(1)", "allgather(1)",
+               "allreduce(1, max)", "alltoall([1])", "scatter([1])"]
+    )
+    def test_every_collective_covered(self, op):
+        src = f"""
+        def f(comm):
+            if comm.rank == 0:
+                comm.{op}
+        """
+        assert rules_hit(src) == {"collective-symmetry"}
+
+    def test_unguarded_collectives_clean(self):
+        fs = findings_for(
+            """
+            def f(comm, x):
+                comm.barrier()
+                vals = comm.allgather(x)
+                return comm.allreduce(len(vals), max)
+            """
+        )
+        assert fs == []
+
+    def test_rank_guarded_p2p_is_fine(self):
+        # rank-dependent send/recv is the normal SPMD idiom
+        fs = findings_for(
+            """
+            def f(comm):
+                if comm.rank == 0:
+                    comm.send(1, dest=1)
+                    return None
+                return comm.recv(0)
+            """
+        )
+        assert fs == []
+
+    def test_symmetric_exit_not_flagged(self):
+        # both branches return: following code is unreachable, not guarded
+        fs = findings_for(
+            """
+            def f(comm, x):
+                if comm.rank == 0:
+                    return comm.allgather(x)
+                else:
+                    return comm.allgather(None)
+            """
+        )
+        # collectives inside the rank-guarded branches are still flagged
+        assert len(fs) == 2
+        assert all(f.rule == "collective-symmetry" for f in fs)
+
+    def test_nested_function_gets_fresh_scope(self):
+        fs = findings_for(
+            """
+            def f(comm):
+                if comm.rank == 0:
+                    def helper(c):
+                        c.barrier()
+                    return helper
+            """
+        )
+        assert fs == []
+
+
+class TestBufferOwnership:
+    def test_item_assignment_flagged(self):
+        fs = findings_for(
+            """
+            def f(comm, out):
+                data = comm.alltoall(out)
+                data[0] = None
+            """
+        )
+        assert [f.rule for f in fs] == ["buffer-ownership"]
+        assert "alltoall" in fs[0].message
+
+    def test_mutating_method_flagged(self):
+        fs = findings_for(
+            """
+            def f(comm):
+                blocks = comm.allgather(1)
+                blocks.sort()
+            """
+        )
+        assert [f.rule for f in fs] == ["buffer-ownership"]
+
+    def test_augassign_flagged(self):
+        fs = findings_for(
+            """
+            def f(comm):
+                buf = comm.recv(0)
+                buf += 1
+            """
+        )
+        assert [f.rule for f in fs] == ["buffer-ownership"]
+
+    def test_alias_tracked(self):
+        fs = findings_for(
+            """
+            def f(comm):
+                buf = comm.recv(0)
+                alias = buf
+                alias.fill(0)
+            """
+        )
+        assert [f.rule for f in fs] == ["buffer-ownership"]
+
+    def test_loop_over_received_taints_target(self):
+        fs = findings_for(
+            """
+            def f(comm, out):
+                for blk in comm.alltoall(out):
+                    blk.sort()
+            """
+        )
+        assert [f.rule for f in fs] == ["buffer-ownership"]
+
+    def test_copy_clears_taint(self):
+        fs = findings_for(
+            """
+            def f(comm):
+                buf = comm.recv(0)
+                buf = buf.copy()
+                buf += 1
+                buf.sort()
+            """
+        )
+        assert fs == []
+
+    def test_reading_received_is_fine(self):
+        fs = findings_for(
+            """
+            def f(comm, out):
+                import numpy as np
+                incoming = comm.alltoall(out)
+                return np.vstack([b for b in incoming if b is not None])
+            """
+        )
+        assert fs == []
+
+
+class TestDtypeOverflow:
+    def test_alloc_without_dtype_flagged(self):
+        fs = findings_for(
+            """
+            import numpy as np
+            buf = np.empty(10)
+            """,
+            path="kronecker/mod.py",
+        )
+        assert [f.rule for f in fs] == ["dtype-overflow"]
+
+    def test_zeros_without_dtype_flagged(self):
+        fs = findings_for(
+            "import numpy as np\nz = np.zeros(4)\n",
+            path="distributed/mod.py",
+        )
+        assert [f.rule for f in fs] == ["dtype-overflow"]
+
+    def test_explicit_dtype_clean(self):
+        fs = findings_for(
+            """
+            import numpy as np
+            a = np.empty(10, dtype=np.int64)
+            b = np.zeros(4, dtype="float64")
+            """,
+            path="kronecker/mod.py",
+        )
+        assert fs == []
+
+    def test_narrow_index_arithmetic_flagged(self):
+        fs = findings_for(
+            """
+            import numpy as np
+            def alpha(n, nb):
+                i = np.arange(n).astype(np.int32)
+                return i * nb + 3
+            """,
+            path="kronecker/indexing.py",
+        )
+        assert [f.rule for f in fs] == ["dtype-overflow"]
+        assert "int32" in fs[0].message
+
+    def test_int64_index_arithmetic_clean(self):
+        fs = findings_for(
+            """
+            import numpy as np
+            def alpha(n, nb):
+                i = np.arange(n, dtype=np.int64)
+                return i * nb + 3
+            """,
+            path="kronecker/indexing.py",
+        )
+        assert fs == []
+
+    def test_scoped_out_of_tree(self):
+        # the rule only applies to kronecker/ and distributed/
+        fs = findings_for(
+            "import numpy as np\nbuf = np.empty(10)\n",
+            path="groundtruth/mod.py",
+        )
+        assert fs == []
+
+    def test_scope_is_per_function(self):
+        # one function's wide rebinding must not mask another's narrow i
+        fs = findings_for(
+            """
+            import numpy as np
+            def bad(n):
+                i = np.arange(n).astype(np.int32)
+                return i * n + 1
+            def good(n):
+                i = np.arange(n, dtype=np.int64)
+                return i * n + 1
+            """,
+            path="kronecker/mod.py",
+        )
+        assert [f.rule for f in fs] == ["dtype-overflow"]
+        assert fs[0].line == 5
+
+
+class TestDeterminism:
+    def test_legacy_np_random_flagged(self):
+        fs = findings_for(
+            "import numpy as np\nv = np.random.rand(5)\n",
+            path="groundtruth/mod.py",
+        )
+        assert [f.rule for f in fs] == ["determinism"]
+        assert "default_rng" in fs[0].message
+
+    def test_unseeded_default_rng_flagged(self):
+        fs = findings_for(
+            "import numpy as np\nrng = np.random.default_rng()\n",
+            path="kronecker/mod.py",
+        )
+        assert [f.rule for f in fs] == ["determinism"]
+
+    def test_seeded_default_rng_clean(self):
+        fs = findings_for(
+            "import numpy as np\nrng = np.random.default_rng(42)\n",
+            path="kronecker/mod.py",
+        )
+        assert fs == []
+
+    def test_set_iteration_flagged(self):
+        fs = findings_for(
+            """
+            def edges():
+                seen = {1, 2, 3}
+                out = []
+                for v in seen:
+                    out.append(v)
+                return out
+            """,
+            path="groundtruth/mod.py",
+        )
+        assert [f.rule for f in fs] == ["determinism"]
+
+    def test_list_of_set_flagged(self):
+        fs = findings_for(
+            "def f(xs):\n    return list(set(xs))\n",
+            path="groundtruth/mod.py",
+        )
+        assert [f.rule for f in fs] == ["determinism"]
+
+    def test_sorted_set_clean(self):
+        fs = findings_for(
+            """
+            def f(xs):
+                out = []
+                for v in sorted(set(xs)):
+                    out.append(v)
+                return out
+            """,
+            path="groundtruth/mod.py",
+        )
+        assert fs == []
+
+    def test_time_seed_flagged(self):
+        fs = findings_for(
+            """
+            import time
+            import numpy as np
+            def f():
+                return np.random.default_rng(int(time.time()))
+            """,
+            path="kronecker/mod.py",
+        )
+        assert [f.rule for f in fs] == ["determinism"]
+        assert "clock" in fs[0].message
+
+    def test_seed_kwarg_from_clock_flagged(self):
+        fs = findings_for(
+            """
+            import time
+            def f(make):
+                return make(seed=time.time_ns())
+            """,
+            path="groundtruth/mod.py",
+        )
+        assert [f.rule for f in fs] == ["determinism"]
+
+    def test_scoped_out_of_tree(self):
+        fs = findings_for(
+            "import numpy as np\nv = np.random.rand(5)\n",
+            path="distributed/mod.py",
+        )
+        assert fs == []
+
+
+class TestFramework:
+    def test_line_suppression(self):
+        fs = findings_for(
+            """
+            def f(comm):
+                if comm.rank == 0:
+                    comm.barrier()  # repro-lint: disable=collective-symmetry
+            """
+        )
+        assert fs == []
+
+    def test_suppress_all(self):
+        fs = findings_for(
+            """
+            def f(comm):
+                buf = comm.recv(0)
+                buf += 1  # repro-lint: disable=all
+            """
+        )
+        assert fs == []
+
+    def test_file_suppression(self):
+        fs = findings_for(
+            """
+            # repro-lint: disable-file=collective-symmetry
+            def f(comm):
+                if comm.rank == 0:
+                    comm.barrier()
+            """
+        )
+        assert fs == []
+
+    def test_unrelated_suppression_keeps_finding(self):
+        fs = findings_for(
+            """
+            def f(comm):
+                if comm.rank == 0:
+                    comm.barrier()  # repro-lint: disable=dtype-overflow
+            """
+        )
+        assert [f.rule for f in fs] == ["collective-symmetry"]
+
+    def test_syntax_error_reported_as_finding(self):
+        fs = findings_for("def broken(:\n")
+        assert [f.rule for f in fs] == ["parse-error"]
+        assert fs[0].severity == "error"
+
+    def test_unknown_rule_selection_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            all_rules(["no-such-rule"])
+
+    def test_rule_selection(self):
+        src = """
+        import numpy as np
+        def f(comm):
+            if comm.rank == 0:
+                comm.barrier()
+        buf = np.empty(3)
+        """
+        only = findings_for(src, select=["dtype-overflow"])
+        assert {f.rule for f in only} == {"dtype-overflow"}
