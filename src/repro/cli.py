@@ -10,6 +10,7 @@ Kronecker graph", plus ground-truth and validation commands::
     repro-kron scaling-table A.txt B.txt          # the Section-I table
     repro-kron experiments                        # full E1-E8 + ablations
     repro-kron lint src --baseline lint-baseline.json   # SPMD static analysis
+    repro-kron chaos --ranks 4 --seed 0           # seeded fault-injection matrix
 
 Factor files are detected by extension: ``.txt``/``.tsv``/``.el`` (edge
 list), ``.npz`` (binary), ``.mtx``/``.mm`` (Matrix Market).
@@ -148,6 +149,37 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the seeded fault-injection matrix; exit 0 iff every cell recovers.
+
+    With no factor files, a small built-in pair (K4 (x) C5) keeps the run
+    fast enough for CI while still routing edges across every rank pair.
+    """
+    from repro.distributed.faults import default_fault_matrix
+    from repro.distributed.supervisor import run_chaos_matrix
+
+    if args.factor_a and args.factor_b:
+        a = _prepare(load_factor(args.factor_a), args)
+        b = _prepare(load_factor(args.factor_b), args)
+    else:
+        from repro.graph.generators import clique, cycle
+
+        a, b = clique(4), cycle(5)
+    report = run_chaos_matrix(
+        a,
+        b,
+        args.ranks,
+        plans=default_fault_matrix(seed=args.seed, nranks=args.ranks),
+        backends=tuple(args.backends.split(",")),
+        routings=tuple(args.routings.split(",")),
+        recv_timeout_s=args.timeout,
+        max_attempts=args.max_attempts,
+        checkpoint_root=args.checkpoint_root,
+    )
+    print(report.to_text())
+    return 0 if report.all_recovered else 1
+
+
 # --------------------------------------------------------------------- #
 # parser
 # --------------------------------------------------------------------- #
@@ -208,6 +240,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_lint_arguments(lint)
     lint.set_defaults(func=cmd_lint)
+
+    c = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection matrix over the supervised launcher",
+    )
+    c.add_argument("factor_a", nargs="?", default=None,
+                   help="factor A file (default: built-in K4)")
+    c.add_argument("factor_b", nargs="?", default=None,
+                   help="factor B file (default: built-in C5)")
+    c.add_argument("--symmetrize", action="store_true",
+                   help="symmetrize factors after reading (directed inputs)")
+    c.add_argument("--self-loops", action="store_true",
+                   help="add a self loop on every factor vertex")
+    c.add_argument("--ranks", type=int, default=4, help="world size")
+    c.add_argument("--seed", type=int, default=0, help="fault-matrix seed")
+    c.add_argument("--backends", default="thread,process",
+                   help="comma-separated launcher backends to exercise")
+    c.add_argument("--routings", default="fused,legacy",
+                   help="comma-separated routing modes to rotate through")
+    c.add_argument("--timeout", type=float, default=2.0,
+                   help="recv timeout (s) pinned for the run; bounds how "
+                        "long a dropped message stalls before retry")
+    c.add_argument("--max-attempts", type=int, default=4,
+                   help="supervised retry budget per cell")
+    c.add_argument("--checkpoint-root", default=None,
+                   help="directory for per-cell shard checkpoints "
+                        "(default: no checkpointing)")
+    c.set_defaults(func=cmd_chaos)
     return parser
 
 

@@ -5,11 +5,25 @@ from repro.distributed.comm import (
     InlineCommunicator,
     ThreadCommunicator,
     make_thread_world,
+    poll_interval,
     recv_timeout,
 )
 from repro.distributed.checked import CheckedCommunicator, SentinelLedger
 from repro.distributed.mpcomm import ProcessCommunicator, make_process_pipes
 from repro.distributed.launcher import spmd_run
+from repro.distributed.faults import (
+    FaultPlan,
+    FaultyCommunicator,
+    default_fault_matrix,
+)
+from repro.distributed.checkpoint import CheckpointStore, edges_digest
+from repro.distributed.supervisor import (
+    ChaosReport,
+    SupervisorReport,
+    generate_distributed_supervised,
+    run_chaos_matrix,
+    spmd_run_supervised,
+)
 from repro.distributed.partition import (
     partition_edges_1d,
     partition_edges_2d,
@@ -50,12 +64,23 @@ __all__ = [
     "InlineCommunicator",
     "ThreadCommunicator",
     "make_thread_world",
+    "poll_interval",
     "recv_timeout",
     "CheckedCommunicator",
     "SentinelLedger",
     "ProcessCommunicator",
     "make_process_pipes",
     "spmd_run",
+    "FaultPlan",
+    "FaultyCommunicator",
+    "default_fault_matrix",
+    "CheckpointStore",
+    "edges_digest",
+    "SupervisorReport",
+    "ChaosReport",
+    "spmd_run_supervised",
+    "generate_distributed_supervised",
+    "run_chaos_matrix",
     "partition_edges_1d",
     "partition_edges_2d",
     "grid_shape_2d",

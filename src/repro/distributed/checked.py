@@ -180,6 +180,14 @@ class CheckedCommunicator(Communicator):
         """The wrapped communicator."""
         return self._inner
 
+    def __getattr__(self, name: str):
+        # Delegate backend-specific extras (free_received_buffers, fault
+        # counters, ...) so wrapper stacks -- Checked over Faulty over a
+        # backend -- expose the whole surface of what they wrap.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._inner, name)
+
     # ---- point-to-point: not fingerprinted ------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         self._inner.send(obj, dest, tag)

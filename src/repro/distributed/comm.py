@@ -37,6 +37,7 @@ __all__ = [
     "ThreadCommunicator",
     "make_thread_world",
     "recv_timeout",
+    "poll_interval",
 ]
 
 #: Default timeout (seconds) after which a blocked recv raises instead of
@@ -63,6 +64,24 @@ def recv_timeout(default: float = _RECV_TIMEOUT) -> float:
     except ValueError:
         return default
     return value if value > 0 else default
+
+
+#: Liveness polls wake this many times per recv-timeout window, clamped so
+#: polling stays responsive under huge timeouts and cheap under tiny ones.
+_POLLS_PER_TIMEOUT = 20.0
+_POLL_MIN = 0.02
+_POLL_MAX = 0.5
+
+
+def poll_interval() -> float:
+    """Period (seconds) for liveness/result polling loops.
+
+    Derived from :func:`recv_timeout` so ``REPRO_RECV_TIMEOUT`` governs
+    every wait in the runtime: the launcher's child-liveness monitor and
+    result-queue loops poll at this rate instead of blocking for a whole
+    timeout window.
+    """
+    return min(_POLL_MAX, max(_POLL_MIN, recv_timeout() / _POLLS_PER_TIMEOUT))
 
 
 class Communicator(ABC):
@@ -271,7 +290,10 @@ class ThreadCommunicator(Communicator):
 
 
 def make_thread_world(
-    size: int, *, checked: bool | None = None
+    size: int,
+    *,
+    checked: bool | None = None,
+    wrap: Callable[[Communicator], Communicator] | None = None,
 ) -> list[Communicator]:
     """Create ``size`` communicators sharing one thread world.
 
@@ -280,6 +302,11 @@ def make_thread_world(
     which converts collective-sequence divergence into a diagnostic
     naming both call sites.  ``checked=None`` (default) defers to the
     ``REPRO_CHECK_COLLECTIVES`` environment variable.
+
+    ``wrap`` interposes a per-rank communicator wrapper *beneath* the
+    sentinel -- the hook the fault-injection harness
+    (:mod:`repro.distributed.faults`) uses, so injected faults flow
+    through the checked collectives like real ones.
     """
     if size < 1:
         raise CommunicatorError(f"world size must be >= 1, got {size}")
@@ -287,6 +314,8 @@ def make_thread_world(
     comms: list[Communicator] = [
         ThreadCommunicator(world, r) for r in range(size)
     ]
+    if wrap is not None:
+        comms = [wrap(c) for c in comms]
     if checked is None:
         from repro.distributed.checked import checked_env_enabled
 

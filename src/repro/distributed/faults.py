@@ -1,0 +1,344 @@
+"""Deterministic fault injection for the SPMD runtime.
+
+The paper's generator ran on up to 1.57M cores, where rank death and
+message loss are routine; this module makes those failures *reproducible*
+so the recovery machinery (:mod:`repro.distributed.supervisor`) can be
+tested like any other code path.  A :class:`FaultPlan` is a frozen,
+seed-driven schedule of faults; :class:`FaultyCommunicator` wraps any
+backend's communicator and injects the plan's faults into the message
+stream.  Every decision is a pure function of
+``(seed, rank, attempt, op index)`` via the splitmix64 hashing of
+:mod:`repro.util.hashing` -- never of wall clock or scheduler order -- so
+a chaos run replays bit-for-bit.
+
+Fault taxonomy
+--------------
+``delay``
+    sleep before a communication op (scaled by a deterministic uniform).
+    Tolerated in-run: the op still completes.
+``duplicate``
+    the same message is delivered twice.  Tolerated in-run: when duplicate
+    injection is armed, every payload travels in a sequence-numbered
+    envelope and the receiving side drops already-seen sequence numbers
+    (the TCP move).  Enveloping bypasses the process backend's
+    shared-memory fast path, so duplicate plans exercise the pickle path.
+``drop``
+    a send silently vanishes.  Not recoverable in-run: the receiver times
+    out (:func:`repro.distributed.comm.recv_timeout`) and the supervised
+    launcher retries the world.
+``crash``
+    :class:`~repro.errors.RankCrashError` is raised at the Nth
+    communication op of the scheduled rank, modelling rank death.
+    Recovered by supervised retry (+ shard checkpoints).
+
+Faults are *armed* only while ``attempt < plan.fault_attempts``
+(default 1), so a whole-run retry under the same plan is guaranteed to
+converge: attempt 0 suffers the faults, attempt 1 runs clean.  Plans for
+in-run-tolerated faults (delay, duplicate) may set ``fault_attempts``
+high to prove tolerance without any retry.
+
+Composition: the launcher applies fault wrapping *beneath* the
+collective-order sentinel (``CheckedCommunicator(FaultyCommunicator(base))``),
+so injected faults flow through checked collectives like real ones.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Any
+
+import numpy as np
+
+from repro.distributed.comm import Communicator
+from repro.errors import RankCrashError
+from repro.util.hashing import edge_uniform
+
+__all__ = [
+    "FaultPlan",
+    "FaultyCommunicator",
+    "FaultCounters",
+    "PlanBinder",
+    "default_fault_matrix",
+    "disarm",
+]
+
+# Sub-seed offsets so drop/dup/delay decisions draw independent streams.
+_KIND_DROP = 0x10001
+_KIND_DUP = 0x20002
+_KIND_DELAY = 0x30003
+_KIND_DELAY_AMOUNT = 0x40004
+
+_ENV_TAG = "__fault_envelope__"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible schedule of communication faults.
+
+    Probabilistic rates (``*_prob``) draw per-op uniforms from the seeded
+    hash stream; targeted schedules (``*_at``, tuples of
+    ``(rank, op_index)`` pairs) fire unconditionally, which is what the
+    chaos matrix uses to guarantee coverage.  A ``drop_at``/``dup_at``
+    entry fires once, at the first *send* whose op index is at or past the
+    scheduled one -- sends interleave with recvs and barriers in
+    workload-dependent order, and "at or after op N" keeps the entry from
+    silently missing when op N happens to be a recv.  ``delay_at`` matches
+    op indices exactly (every op kind can delay).  ``crash_rank`` raises
+    :class:`~repro.errors.RankCrashError` at the first comm op whose index
+    is ``>= crash_at`` on that rank.  Op indices count the wrapped rank's
+    primitive communicator calls (``send``/``recv``/``barrier``) in
+    program order; collectives decompose into these, so a crash "inside an
+    alltoall" is expressible.
+    """
+
+    seed: int = 0
+    name: str = ""
+    drop_prob: float = 0.0
+    dup_prob: float = 0.0
+    delay_prob: float = 0.0
+    delay_s: float = 0.0
+    drop_at: tuple[tuple[int, int], ...] = ()
+    dup_at: tuple[tuple[int, int], ...] = ()
+    delay_at: tuple[tuple[int, int], ...] = ()
+    crash_rank: int | None = None
+    crash_at: int = 0
+    #: Faults fire only on attempts < this (1 = first attempt only).
+    fault_attempts: int = 1
+
+    def binder(self, attempt: int = 0) -> "PlanBinder":
+        """A picklable per-attempt communicator wrapper for the launcher."""
+        return PlanBinder(self, attempt)
+
+    def label(self) -> str:
+        if self.name:
+            return self.name
+        kinds = []
+        if self.drop_prob or self.drop_at:
+            kinds.append("drop")
+        if self.dup_prob or self.dup_at:
+            kinds.append("dup")
+        if self.delay_prob or self.delay_at:
+            kinds.append("delay")
+        if self.crash_rank is not None:
+            kinds.append(f"crash@r{self.crash_rank}")
+        return "+".join(kinds) or "noop"
+
+
+@dataclass(frozen=True)
+class PlanBinder:
+    """Bind a plan to an attempt number; callable per-rank wrapper.
+
+    Module-level and frozen so the process backend can ship it to
+    children; the launcher calls it once per rank communicator.
+    """
+
+    plan: FaultPlan
+    attempt: int = 0
+
+    def __call__(self, comm: Communicator) -> "FaultyCommunicator":
+        return FaultyCommunicator(comm, self.plan, attempt=self.attempt)
+
+
+@dataclass
+class FaultCounters:
+    """What one wrapped rank actually injected (for tests/diagnostics)."""
+
+    ops: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    deduplicated: int = 0
+    crashes: int = 0
+
+
+class FaultyCommunicator(Communicator):
+    """Inject a :class:`FaultPlan` into any communicator's message stream.
+
+    Point-to-point ``send``/``recv`` and ``barrier`` are wrapped; the
+    collectives inherit the :class:`Communicator` base implementations and
+    therefore route through the faulty primitives, so faults reach
+    collective traffic on every backend.  ``barrier`` delegates to the
+    inner backend's (possibly native) implementation and counts as one op.
+    """
+
+    def __init__(
+        self,
+        inner: Communicator,
+        plan: FaultPlan,
+        *,
+        attempt: int = 0,
+    ) -> None:
+        self._inner = inner
+        self._plan = plan
+        self._attempt = int(attempt)
+        self._armed = self._attempt < plan.fault_attempts
+        # Duplicates need receiver-side dedup, hence seq-numbered envelopes;
+        # other fault kinds leave payloads untouched (preserving zero-copy).
+        self._envelope = bool(plan.dup_prob > 0 or plan.dup_at)
+        self._send_seq: dict[tuple[int, int], int] = {}
+        self._seen: dict[tuple[int, int], set[int]] = {}
+        self._fired: set[tuple[int, tuple[int, int]]] = set()
+        self.counters = FaultCounters()
+
+    @property
+    def rank(self) -> int:
+        return self._inner.rank
+
+    @property
+    def size(self) -> int:
+        return self._inner.size
+
+    @property
+    def inner(self) -> Communicator:
+        """The wrapped communicator."""
+        return self._inner
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._inner, name)
+
+    # ---- deterministic decisions ----------------------------------------
+    def _uniform(self, kind: int, op: int) -> float:
+        # One scalar hash per decision: (op, rank/attempt) under a
+        # kind-offset seed.  Scheduler-independent by construction.
+        u = edge_uniform(
+            np.uint64(op),
+            np.uint64((self.rank << 32) ^ self._attempt),
+            seed=self._plan.seed + kind,
+            directed=True,
+        )
+        return float(u)
+
+    def _send_fault(
+        self,
+        targeted: tuple[tuple[int, int], ...],
+        prob: float,
+        kind: int,
+        op: int,
+    ) -> bool:
+        """Does a targeted-or-probabilistic send fault fire at ``op``?
+
+        Each targeted entry fires once, at the first send with op index at
+        or past the scheduled one (see :class:`FaultPlan`).
+        """
+        for entry in targeted:
+            r, at = entry
+            if r == self.rank and op >= at and (kind, entry) not in self._fired:
+                self._fired.add((kind, entry))
+                return True
+        return prob > 0 and self._uniform(kind, op) < prob
+
+    def _next_op(self) -> int:
+        op = self.counters.ops
+        self.counters.ops += 1
+        if not self._armed:
+            return op
+        plan = self._plan
+        if plan.crash_rank == self.rank and op >= plan.crash_at:
+            self.counters.crashes += 1
+            raise RankCrashError(
+                f"injected crash: rank {self.rank} scheduled to die at comm "
+                f"op {plan.crash_at} (attempt {self._attempt}, plan "
+                f"'{plan.label()}', seed {plan.seed})"
+            )
+        if (self.rank, op) in plan.delay_at or (
+            plan.delay_prob > 0
+            and self._uniform(_KIND_DELAY, op) < plan.delay_prob
+        ):
+            self.counters.delayed += 1
+            time.sleep(plan.delay_s * self._uniform(_KIND_DELAY_AMOUNT, op))
+        return op
+
+    # ---- faulty point-to-point ------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        op = self._next_op()
+        if self._armed and self._send_fault(
+            self._plan.drop_at, self._plan.drop_prob, _KIND_DROP, op
+        ):
+            self.counters.dropped += 1
+            return
+        payload = obj
+        if self._envelope:
+            key = (dest, tag)
+            seq = self._send_seq.get(key, 0)
+            self._send_seq[key] = seq + 1
+            payload = (_ENV_TAG, seq, obj)
+        self._inner.send(payload, dest, tag)
+        if self._armed and self._send_fault(
+            self._plan.dup_at, self._plan.dup_prob, _KIND_DUP, op
+        ):
+            self.counters.duplicated += 1
+            self._inner.send(payload, dest, tag)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        self._next_op()
+        while True:
+            obj = self._inner.recv(source, tag)
+            if not (
+                isinstance(obj, tuple) and len(obj) == 3 and obj[0] == _ENV_TAG
+            ):
+                return obj
+            _, seq, payload = obj
+            seen = self._seen.setdefault((source, tag), set())
+            if seq in seen:
+                # Duplicate delivery: discard and wait for the next message.
+                self.counters.deduplicated += 1
+                continue
+            seen.add(seq)
+            return payload
+
+    def barrier(self) -> None:
+        self._next_op()
+        self._inner.barrier()
+
+
+def default_fault_matrix(
+    seed: int = 0, nranks: int = 4
+) -> list[FaultPlan]:
+    """The seeded chaos matrix: >= 12 plans covering every fault kind.
+
+    Targeted faults (fixed ``(rank, op)`` schedules) guarantee each kind
+    actually fires on small worlds; the probabilistic plans exercise the
+    attempt-reseeded retry path.  Crash/drop plans arm faults on the first
+    attempt only, so supervised retry converges deterministically;
+    duplicate/delay plans stay armed on every attempt because the runtime
+    tolerates them without a retry.
+    """
+    last = max(0, nranks - 1)
+    tolerated = {"fault_attempts": 1 << 20}
+    plans = [
+        # -- crashes: first op, mid-stream, late, on different ranks ------
+        FaultPlan(seed=seed + 1, name="crash-r0-op0", crash_rank=0, crash_at=0),
+        FaultPlan(seed=seed + 2, name="crash-r1-op3", crash_rank=min(1, last),
+                  crash_at=3),
+        FaultPlan(seed=seed + 3, name=f"crash-r{last}-op5", crash_rank=last,
+                  crash_at=5),
+        # -- drops: targeted on specific ops, plus a probabilistic plan ---
+        FaultPlan(seed=seed + 4, name="drop-r0-op1", drop_at=((0, 1),)),
+        FaultPlan(seed=seed + 5, name=f"drop-r{last}-op2",
+                  drop_at=((last, 2),)),
+        FaultPlan(seed=seed + 6, name="drop-p10", drop_prob=0.10),
+        # -- delays: in-run tolerated, armed on every attempt -------------
+        FaultPlan(seed=seed + 7, name="delay-all", delay_prob=1.0,
+                  delay_s=0.02, **tolerated),
+        FaultPlan(seed=seed + 8, name="delay-r1-heavy",
+                  delay_at=tuple((min(1, last), op) for op in range(4)),
+                  delay_s=0.05, **tolerated),
+        # -- duplicates: in-run tolerated via envelope dedup --------------
+        FaultPlan(seed=seed + 9, name="dup-all", dup_prob=1.0, **tolerated),
+        FaultPlan(seed=seed + 10, name="dup-r0-early",
+                  dup_at=tuple((0, op) for op in range(3)), **tolerated),
+        # -- compound plans ----------------------------------------------
+        FaultPlan(seed=seed + 11, name="drop+delay", drop_at=((0, 2),),
+                  delay_prob=0.5, delay_s=0.01),
+        FaultPlan(seed=seed + 12, name="dup+crash", dup_prob=1.0,
+                  crash_rank=min(1, last), crash_at=4),
+    ]
+    return plans
+
+
+def disarm(plan: FaultPlan) -> FaultPlan:
+    """A copy of ``plan`` that injects nothing (for A/B reference runs)."""
+    return replace(plan, fault_attempts=0)

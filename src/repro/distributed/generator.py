@@ -219,6 +219,7 @@ def generate_distributed(
     backend: str = "thread",
     chunk_size: int = DEFAULT_CHUNK,
     routing: str = "fused",
+    runner=spmd_run,
 ) -> tuple[EdgeList, list[RankOutput]]:
     """Generate ``C = A (x) B`` across ``nranks`` ranks and reassemble.
 
@@ -241,6 +242,11 @@ def generate_distributed(
     routing:
         ``"fused"`` (generate pre-bucketed, sort-free -- the default) or
         ``"legacy"`` (expand, argsort-bucket, exchange) for A/B comparison.
+    runner:
+        The launch function, ``spmd_run``-compatible.  The supervised
+        launcher (:func:`repro.distributed.supervisor.spmd_run_supervised`)
+        is passed here -- pre-bound with its retry/fault/checkpoint
+        configuration -- to add recovery without the generator knowing.
 
     Returns
     -------
@@ -254,7 +260,7 @@ def generate_distributed(
         if storage is None:
             storage = "source_block"
         parts_a = partition_edges_1d(el_a, nranks)
-        outputs = spmd_run(
+        outputs = runner(
             generate_rank_1d_pipelined,
             nranks,
             parts_a,
@@ -267,7 +273,7 @@ def generate_distributed(
         )
     elif scheme == "1d":
         parts_a = partition_edges_1d(el_a, nranks)
-        outputs = spmd_run(
+        outputs = runner(
             generate_rank_1d,
             nranks,
             parts_a,
@@ -280,7 +286,7 @@ def generate_distributed(
         )
     elif scheme == "2d":
         assignments = partition_edges_2d(el_a, el_b, nranks)
-        outputs = spmd_run(
+        outputs = runner(
             generate_rank_2d,
             nranks,
             assignments,

@@ -12,33 +12,78 @@ Backends
     one Python thread per rank over queue mailboxes.
 ``"process"``:
     one forked OS process per rank (``fn`` and its arguments must be
-    picklable).  Unavailable start methods degrade with a clear error.
+    picklable).  When the platform has no ``fork`` start method the
+    launcher degrades to the thread backend with a structured
+    :class:`~repro.errors.DegradationWarning` instead of dying.
 
-A rank raising an exception cancels the run and re-raises in the caller
-(with the failing rank identified), rather than deadlocking peers.
+A rank raising an exception cancels the run and re-raises in the caller as
+:class:`~repro.errors.RankFailedError` (naming the failing rank), rather
+than deadlocking peers.  The process backend additionally polls child
+liveness: a rank killed without reporting (segfault, OOM, ``kill -9``)
+surfaces as :class:`~repro.errors.RankDiedError` within a few poll
+intervals instead of blocking until the result-queue timeout.
+
+Every wait in this module derives from
+:func:`repro.distributed.comm.recv_timeout`, so one environment variable
+(``REPRO_RECV_TIMEOUT``) tightens or relaxes the whole failure-detection
+ladder -- chaos tests set it to a couple of seconds.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import queue
+import signal
 import threading
+import time
 import traceback
+import warnings
 from typing import Any, Callable
 
 from repro.distributed.checked import CheckedCommunicator
-from repro.distributed.comm import InlineCommunicator, make_thread_world
+from repro.distributed.comm import (
+    InlineCommunicator,
+    make_thread_world,
+    poll_interval,
+    recv_timeout,
+)
 from repro.distributed.mpcomm import ProcessCommunicator, make_process_pipes
-from repro.errors import CommunicatorError
+from repro.errors import (
+    CommunicatorError,
+    DegradationWarning,
+    RankDiedError,
+    RankFailedError,
+)
 
 __all__ = ["spmd_run"]
 
 RankFn = Callable[..., Any]
+CommWrapper = Callable[[Any], Any]
+
+#: Worst-case wall clock for a whole rank program, as a multiple of the
+#: recv timeout (compute phases between communication steps need headroom
+#: beyond a single blocked-recv window).  5 x the 60s default recv timeout
+#: preserves the launcher's historical 300s ceiling.
+_RUN_TIMEOUT_FACTOR = 5.0
+
+#: How long to wait for a terminated child to be reaped, as a fraction of
+#: the recv timeout (0.5 x the 60s default preserves the old 30s grace).
+_REAP_FACTOR = 0.5
+
+#: A child observed dead without a result is declared failed after staying
+#: dead for this many poll intervals (grace for its queued result to drain
+#: through the feeder thread).
+_DEAD_GRACE_POLLS = 3
 
 
 def _run_threads(
-    fn: RankFn, nranks: int, args: tuple, checked: bool | None
+    fn: RankFn,
+    nranks: int,
+    args: tuple,
+    checked: bool | None,
+    wrap_comm: CommWrapper | None = None,
 ) -> list[Any]:
-    comms = make_thread_world(nranks, checked=checked)
+    comms = make_thread_world(nranks, checked=checked, wrap=wrap_comm)
     results: list[Any] = [None] * nranks
     errors: list[tuple[int, BaseException, str]] = []
     lock = threading.Lock()
@@ -62,36 +107,85 @@ def _run_threads(
     ]
     for t in threads:
         t.start()
-    for t in threads:
-        t.join(timeout=300.0)
-    if errors:
-        rank, exc, tb = errors[0]
-        raise CommunicatorError(f"rank {rank} failed:\n{tb}") from exc
-    if any(t.is_alive() for t in threads):
-        raise CommunicatorError("SPMD run deadlocked (thread join timed out)")
+    deadline = time.monotonic() + _RUN_TIMEOUT_FACTOR * recv_timeout()
+    while True:
+        alive = [t for t in threads if t.is_alive()]
+        if not alive:
+            break
+        with lock:
+            failed = bool(errors)
+        if failed:
+            # Fail fast: surviving rank threads are daemonic and unwind on
+            # their own recv/barrier timeouts; their world is discarded.
+            break
+        if time.monotonic() > deadline:
+            raise CommunicatorError(
+                "SPMD run deadlocked (thread join timed out after "
+                f"{_RUN_TIMEOUT_FACTOR:g} x recv_timeout)"
+            )
+        alive[0].join(timeout=poll_interval())
+    with lock:
+        if errors:
+            rank, exc, tb = errors[0]
+            raise RankFailedError(rank, type(exc).__name__, tb) from exc
     return results
 
 
-def _process_entry(fn, pipes, rank, size, args, result_q):  # pragma: no cover
-    # Runs in the child process; exceptions are shipped back as strings.
+def _process_entry(
+    fn, pipes, rank, size, args, result_q, wrap_comm=None
+):  # pragma: no cover - runs in the child process
+    # Exceptions are shipped back as (type name, traceback) strings; the
+    # type name lets the supervisor judge retryability across the hop.
     try:
         comm = ProcessCommunicator(pipes, rank, size)
+        if wrap_comm is not None:
+            comm = wrap_comm(comm)
         result_q.put((rank, True, fn(comm, *args)))
-    except BaseException:  # noqa: BLE001
-        result_q.put((rank, False, traceback.format_exc()))
+    except BaseException as exc:  # noqa: BLE001
+        result_q.put((rank, False, (type(exc).__name__, traceback.format_exc())))
 
 
-def _run_processes(fn: RankFn, nranks: int, args: tuple) -> list[Any]:
+def _fork_context() -> mp.context.BaseContext | None:
+    """The fork start-method context, or ``None`` when unavailable."""
     try:
-        ctx = mp.get_context("fork")
-    except ValueError as exc:  # pragma: no cover - non-posix
-        raise CommunicatorError("process backend requires fork support") from exc
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-posix
+        return None
+
+
+def _describe_exit(exitcode: int | None) -> str:
+    if exitcode is None:
+        return "still starting"
+    if exitcode < 0:
+        try:
+            name = signal.Signals(-exitcode).name
+        except ValueError:  # pragma: no cover - unknown signal number
+            name = f"signal {-exitcode}"
+        return f"killed by {name}"
+    return f"exited with code {exitcode}"
+
+
+def _rank_roster(reported: set[int], nranks: int) -> str:
+    missing = sorted(set(range(nranks)) - reported)
+    return (
+        f"ranks reported: {sorted(reported) or '[]'}; "
+        f"ranks missing: {missing or '[]'}"
+    )
+
+
+def _run_processes(
+    fn: RankFn,
+    nranks: int,
+    args: tuple,
+    ctx: mp.context.BaseContext,
+    wrap_comm: CommWrapper | None = None,
+) -> list[Any]:
     pipes = make_process_pipes(nranks, ctx)
     result_q = ctx.Queue()
     procs = [
         ctx.Process(
             target=_process_entry,
-            args=(fn, pipes, r, nranks, args, result_q),
+            args=(fn, pipes, r, nranks, args, result_q, wrap_comm),
             daemon=True,
         )
         for r in range(nranks)
@@ -99,20 +193,64 @@ def _run_processes(fn: RankFn, nranks: int, args: tuple) -> list[Any]:
     for p in procs:
         p.start()
     results: list[Any] = [None] * nranks
-    failure: str | None = None
-    for _ in range(nranks):
-        rank, ok, payload = result_q.get(timeout=300.0)
+    reported: set[int] = set()
+    failure: CommunicatorError | None = None
+    timeout = _RUN_TIMEOUT_FACTOR * recv_timeout()
+    deadline = time.monotonic() + timeout
+    dead_since: dict[int, float] = {}
+    while len(reported) < nranks:
+        poll = poll_interval()
+        try:
+            rank, ok, payload = result_q.get(timeout=poll)
+        except queue.Empty:
+            now = time.monotonic()
+            # Liveness: a child that died without reporting will never put
+            # a result; give its (possibly already queued) result a few
+            # polls to drain through the feeder thread, then declare it.
+            for r, p in enumerate(procs):
+                if r in reported or p.is_alive():
+                    dead_since.pop(r, None)
+                else:
+                    dead_since.setdefault(r, now)
+            confirmed = sorted(
+                r
+                for r, t0 in dead_since.items()
+                if now - t0 >= _DEAD_GRACE_POLLS * poll
+            )
+            if confirmed:
+                detail = ", ".join(
+                    f"rank {r} {_describe_exit(procs[r].exitcode)}"
+                    for r in confirmed
+                )
+                failure = RankDiedError(
+                    f"rank process(es) died without reporting a result: "
+                    f"{detail}; {_rank_roster(reported, nranks)}",
+                    ranks=tuple(confirmed),
+                )
+                break
+            if now > deadline:
+                failure = CommunicatorError(
+                    f"timed out after {timeout:g}s waiting for rank "
+                    f"results; {_rank_roster(reported, nranks)} -- a "
+                    f"missing rank is hung or deadlocked (set "
+                    f"REPRO_RECV_TIMEOUT to tune every wait)"
+                )
+                break
+            continue
         if ok:
             results[rank] = payload
+            reported.add(rank)
         else:
-            failure = f"rank {rank} failed:\n{payload}"
+            original_type, tb = payload
+            failure = RankFailedError(rank, original_type, tb)
             break
+    reap = _REAP_FACTOR * recv_timeout()
     for p in procs:
-        if failure:
+        if failure is not None:
             p.terminate()
-        p.join(timeout=30.0)
-    if failure:
-        raise CommunicatorError(failure)
+        p.join(timeout=reap)
+    if failure is not None:
+        raise failure
     return results
 
 
@@ -122,6 +260,7 @@ def spmd_run(
     *args: Any,
     backend: str = "thread",
     checked: bool | None = None,
+    wrap_comm: CommWrapper | None = None,
 ) -> list[Any]:
     """Execute ``fn(comm, *args)`` on every rank; return results in rank order.
 
@@ -144,20 +283,39 @@ def spmd_run(
         variable (thread backend only; the single-rank inline world is
         trivially symmetric, and the fork-based process backend rejects an
         explicit ``checked=True`` rather than silently skipping the check).
+    wrap_comm:
+        Optional per-rank communicator wrapper applied beneath the sentinel
+        -- the fault-injection hook (:mod:`repro.distributed.faults`).
+        Must be picklable for the process backend.
     """
     if nranks < 1:
         raise CommunicatorError(f"nranks must be >= 1, got {nranks}")
     if backend == "inline":
         if nranks != 1:
             raise CommunicatorError("inline backend supports only nranks == 1")
-        return [fn(InlineCommunicator(), *args)]
+        comm = InlineCommunicator()
+        if wrap_comm is not None:
+            comm = wrap_comm(comm)
+        return [fn(comm, *args)]
     if backend == "thread":
-        return _run_threads(fn, nranks, args, checked)
+        return _run_threads(fn, nranks, args, checked, wrap_comm)
     if backend == "process":
         if checked:
             raise CommunicatorError(
                 "checked collective mode needs in-process shared state; "
                 "it supports the thread backend only"
             )
-        return _run_processes(fn, nranks, args)
+        ctx = _fork_context()
+        if ctx is None:  # pragma: no cover - non-posix
+            warnings.warn(
+                DegradationWarning(
+                    "process backend",
+                    "thread backend",
+                    "fork start method unavailable on this platform",
+                ),
+                stacklevel=2,
+            )
+            return _run_threads(fn, nranks, args, checked=False,
+                                wrap_comm=wrap_comm)
+        return _run_processes(fn, nranks, args, ctx, wrap_comm)
     raise CommunicatorError(f"unknown backend {backend!r}")

@@ -31,18 +31,24 @@ mapping, so the name disappears as soon as the message is consumed while the
 memory survives until the mapping is dropped.  A message that is never
 received (a crashed peer) can therefore leak its segment until reboot; the
 launcher's fail-fast error propagation makes that a pathological case only.
+
+When segment creation fails (no ``/dev/shm``, quota exhausted), the sender
+emits a structured :class:`~repro.errors.DegradationWarning` and falls back
+to the pickled queue path for the rest of the rank's life -- slower, never
+fatal.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import warnings
 from multiprocessing import resource_tracker, shared_memory
 from typing import Any
 
 import numpy as np
 
 from repro.distributed.comm import Communicator, recv_timeout
-from repro.errors import CommunicatorError
+from repro.errors import CommunicatorError, DegradationWarning
 
 __all__ = ["ProcessCommunicator", "make_process_pipes", "SHM_MIN_BYTES"]
 
@@ -166,7 +172,21 @@ class ProcessCommunicator(Communicator):
         if dest == self._rank:
             raise CommunicatorError("send to self is not supported")
         if self._shm_eligible(obj):
-            obj = _shm_wrap(obj)
+            try:
+                obj = _shm_wrap(obj)
+            except (OSError, ValueError) as exc:
+                # /dev/shm may be missing, full, or too small (containers).
+                # The pickled queue path is slower but always works, so
+                # degrade for the rest of this rank's life instead of dying.
+                self._zero_copy = False
+                warnings.warn(
+                    DegradationWarning(
+                        f"zero-copy exchange (rank {self._rank})",
+                        "pickled queue messages",
+                        f"shared-memory segment creation failed: {exc}",
+                    ),
+                    stacklevel=2,
+                )
         self._pipes[self._rank][dest].put((tag, obj))
 
     def recv(self, source: int, tag: int = 0) -> Any:

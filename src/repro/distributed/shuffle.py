@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.distributed.comm import Communicator
 from repro.distributed.partition import owners_by_edge_hash, owners_by_vertex_block
+from repro.errors import CommunicatorError
 
 __all__ = [
     "counting_scatter",
@@ -138,12 +139,24 @@ def bucket_edges(
 
 
 def _as_edge_block(blk: np.ndarray | None) -> np.ndarray | None:
-    """Normalize one received bucket; ``None``/empty become ``None``."""
+    """Normalize one received bucket; ``None``/empty become ``None``.
+
+    A received payload that cannot be an edge block (odd element count,
+    non-numeric dtype) means a corrupted or misrouted message; raise a
+    diagnostic naming the problem instead of letting ``reshape`` throw a
+    bare ``ValueError`` deep in the exchange.
+    """
     if blk is None:
         return None
     blk = np.asarray(blk)
     if blk.size == 0:
         return None
+    if blk.dtype.kind not in "biu" or blk.size % 2:
+        raise CommunicatorError(
+            f"received edge block with dtype {blk.dtype} and shape "
+            f"{blk.shape}: not interpretable as (m, 2) integer edges -- "
+            f"a corrupted or misrouted exchange message"
+        )
     return blk.reshape(-1, 2)
 
 

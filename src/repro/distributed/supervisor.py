@@ -1,0 +1,475 @@
+"""Supervised SPMD execution: retry, checkpoint/resume, chaos harness.
+
+:func:`spmd_run_supervised` is a drop-in replacement for
+:func:`repro.distributed.launcher.spmd_run` that adds the recovery layer
+the bare launcher deliberately lacks:
+
+* **whole-run retry with exponential backoff** on communicator failures
+  (timeouts, rank crashes, dead child processes, collective divergence) --
+  rank-program bugs (``ValueError`` in user code, checkpoint digest
+  mismatches) are *not* retried, they re-raise immediately;
+* **deterministic fault injection** via a
+  :class:`~repro.distributed.faults.FaultPlan` -- each attempt re-binds the
+  plan to its attempt number, so probabilistic faults reroll and scheduled
+  faults disarm once ``fault_attempts`` is exhausted;
+* **shard-level checkpoint/resume** through the content-addressed
+  :class:`~repro.distributed.checkpoint.CheckpointStore`: completed shard
+  outputs persist, a retry re-executes only missing shards, and a shard
+  that *is* re-executed (because peers need its collective traffic) is
+  verified bit-for-bit against the recorded digest.
+
+:func:`generate_distributed_supervised` wires all of it to the generator,
+and :func:`run_chaos_matrix` drives a seeded fault matrix end-to-end,
+asserting every plan recovers to output bit-identical (canonical edge
+order) to the fault-free run -- the ``repro-kron chaos`` subcommand.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.distributed.checkpoint import CheckpointStore, edges_digest
+from repro.distributed.comm import RECV_TIMEOUT_ENV
+from repro.distributed.faults import FaultPlan, default_fault_matrix
+from repro.distributed.generator import RankOutput, generate_distributed
+from repro.distributed.launcher import spmd_run
+from repro.errors import (
+    CheckpointError,
+    CommunicatorError,
+    RankFailedError,
+    ReproError,
+)
+from repro.graph.edgelist import EdgeList
+from repro.kronecker.product import DEFAULT_CHUNK
+
+__all__ = [
+    "SupervisorReport",
+    "spmd_run_supervised",
+    "generation_run_key",
+    "generate_distributed_supervised",
+    "ChaosOutcome",
+    "ChaosReport",
+    "run_chaos_matrix",
+]
+
+#: Exception type *names* considered transient when a child process ships
+#: its failure back as a string (the type object does not survive the hop).
+_RETRYABLE_TYPE_NAMES = frozenset(
+    {
+        "CommunicatorError",
+        "CollectiveOrderError",
+        "RankCrashError",
+        "RankDiedError",
+        "TimeoutError",
+        "BrokenBarrierError",
+        "Empty",
+        "EOFError",
+        "BrokenPipeError",
+        "ConnectionResetError",
+    }
+)
+
+
+def _is_retryable(exc: BaseException) -> bool:
+    """Transient infrastructure failure vs. deterministic program bug."""
+    if isinstance(exc, RankFailedError):
+        cause = exc.__cause__
+        if cause is not None:
+            return isinstance(cause, CommunicatorError)
+        return exc.original_type in _RETRYABLE_TYPE_NAMES
+    return isinstance(exc, CommunicatorError)
+
+
+@dataclass
+class SupervisorReport:
+    """What a supervised run did (filled in place by the supervisor)."""
+
+    attempts: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    def record_failure(self, attempt: int, exc: BaseException) -> None:
+        first_line = str(exc).splitlines()[0] if str(exc) else type(exc).__name__
+        self.failures.append(f"attempt {attempt}: {first_line}")
+
+
+class _CheckpointedRankFn:
+    """Wrap a ``RankOutput``-returning rank program with shard checkpoints.
+
+    ``shard_mode="independent"`` (comm-free rank programs): each rank
+    skips straight to its persisted shard when one verifies, so a retry
+    re-executes only the failed shards.
+
+    ``shard_mode="collective"`` (rank programs that exchange edges): ranks
+    agree via one allreduce whether *every* shard is already persisted --
+    if so, all load and no generation happens; otherwise all ranks re-run
+    so the exchange stays symmetric, and any rank holding a checkpoint
+    verifies its re-executed output digest against the recorded one
+    (deterministic generation makes a mismatch a hard
+    :class:`CheckpointError`, never a retry).
+
+    Module-level class (not a closure) so the process backend can ship it
+    to forked children; it reopens the store per call because file handles
+    do not survive the fork.
+    """
+
+    def __init__(
+        self, fn, directory: str | os.PathLike, run_key: str, shard_mode: str
+    ) -> None:
+        if shard_mode not in ("independent", "collective"):
+            raise CheckpointError(
+                f"unknown shard_mode {shard_mode!r}; "
+                f"use 'independent' or 'collective'"
+            )
+        self.fn = fn
+        self.directory = str(directory)
+        self.run_key = run_key
+        self.shard_mode = shard_mode
+
+    def _key(self, rank: int) -> str:
+        return f"{self.run_key}.rank{rank:05d}"
+
+    def __call__(self, comm, *args):
+        store = CheckpointStore(self.directory)
+        key = self._key(comm.rank)
+        cached = store.get(key)
+        if self.shard_mode == "collective" and comm.size > 1:
+            all_cached = comm.allreduce(
+                cached is not None, lambda a, b: a and b
+            )
+            if all_cached:
+                return RankOutput(comm.rank, cached.edges, cached.generated)
+            out = self.fn(comm, *args)
+            if cached is not None:
+                fresh = edges_digest(out.edges)
+                if fresh != cached.digest:
+                    raise CheckpointError(
+                        f"rank {comm.rank}: re-executed shard digest "
+                        f"{fresh:#018x} does not match checkpoint "
+                        f"{cached.digest:#018x} for key {key!r} -- "
+                        f"generation is expected to be deterministic"
+                    )
+            else:
+                store.put(key, out.edges, generated=out.generated)
+            return out
+        if cached is not None:
+            return RankOutput(comm.rank, cached.edges, cached.generated)
+        out = self.fn(comm, *args)
+        store.put(key, out.edges, generated=out.generated)
+        return out
+
+
+def spmd_run_supervised(
+    fn,
+    nranks: int,
+    *args,
+    backend: str = "thread",
+    checked: bool | None = None,
+    fault_plan: FaultPlan | None = None,
+    max_attempts: int = 3,
+    backoff_base: float = 0.05,
+    backoff_factor: float = 2.0,
+    backoff_max: float = 2.0,
+    checkpoint: str | os.PathLike | CheckpointStore | None = None,
+    run_key: str | None = None,
+    shard_mode: str = "collective",
+    report: SupervisorReport | None = None,
+) -> list:
+    """Run ``fn`` across ``nranks`` ranks under supervision.
+
+    Drop-in for :func:`spmd_run` (same positional contract, returns
+    per-rank results in rank order), plus:
+
+    fault_plan:
+        Inject this :class:`FaultPlan` (re-bound to each attempt number)
+        beneath the collective-order sentinel.
+    max_attempts:
+        Total attempts before the last failure re-raises.  Only failures
+        classified as transient communicator faults are retried.
+    backoff_base / backoff_factor / backoff_max:
+        Exponential backoff (seconds) slept between attempts.
+    checkpoint / run_key / shard_mode:
+        When ``checkpoint`` names a directory (or store), wrap ``fn`` --
+        which must return :class:`RankOutput` -- in shard-level
+        checkpoint/resume (see :class:`_CheckpointedRankFn`).
+    report:
+        Optional :class:`SupervisorReport` filled with attempt counts and
+        per-attempt failure summaries.
+    """
+    if max_attempts < 1:
+        raise CommunicatorError(f"max_attempts must be >= 1, got {max_attempts}")
+    run_fn = fn
+    if checkpoint is not None:
+        directory = (
+            checkpoint.directory
+            if isinstance(checkpoint, CheckpointStore)
+            else checkpoint
+        )
+        key = run_key or getattr(fn, "__name__", "spmd-run")
+        run_fn = _CheckpointedRankFn(fn, directory, key, shard_mode)
+    delay = backoff_base
+    for attempt in range(max_attempts):
+        wrap = fault_plan.binder(attempt) if fault_plan is not None else None
+        try:
+            results = spmd_run(
+                run_fn,
+                nranks,
+                *args,
+                backend=backend,
+                checked=checked,
+                wrap_comm=wrap,
+            )
+        except ReproError as exc:
+            if report is not None:
+                report.attempts = attempt + 1
+                report.record_failure(attempt, exc)
+            if not _is_retryable(exc) or attempt + 1 >= max_attempts:
+                raise
+            time.sleep(min(delay, backoff_max))
+            delay *= backoff_factor
+            continue
+        if report is not None:
+            report.attempts = attempt + 1
+        return results
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def generation_run_key(
+    el_a: EdgeList,
+    el_b: EdgeList,
+    nranks: int,
+    scheme: str,
+    storage: str | None,
+    routing: str,
+    chunk_size: int,
+) -> str:
+    """Content-addressed signature of one generation configuration.
+
+    Folds the factor edge digests and every parameter that affects shard
+    contents or row order, so a resumed run can never consume checkpoints
+    written under a different configuration.
+    """
+    return (
+        f"gen-{edges_digest(el_a.edges):016x}-{edges_digest(el_b.edges):016x}"
+        f"-r{nranks}-{scheme}-{storage}-{routing}-c{chunk_size}"
+    )
+
+
+def generate_distributed_supervised(
+    el_a: EdgeList,
+    el_b: EdgeList,
+    nranks: int,
+    *,
+    scheme: str = "1d",
+    storage: str | None = None,
+    backend: str = "thread",
+    chunk_size: int = DEFAULT_CHUNK,
+    routing: str = "fused",
+    fault_plan: FaultPlan | None = None,
+    max_attempts: int = 3,
+    checkpoint_dir: str | os.PathLike | None = None,
+    run_key: str | None = None,
+    report: SupervisorReport | None = None,
+) -> tuple[EdgeList, list[RankOutput]]:
+    """:func:`generate_distributed` under the supervised launcher.
+
+    Same contract and parameters as the unsupervised driver, plus the
+    supervision knobs of :func:`spmd_run_supervised`.  With a
+    ``checkpoint_dir``, completed shards persist under a run key derived
+    from the factor digests and generation parameters; a retry (or a fresh
+    call with the same configuration) re-executes only missing shards.
+    """
+    if run_key is None and checkpoint_dir is not None:
+        run_key = generation_run_key(
+            el_a, el_b, nranks, scheme, storage, routing, chunk_size
+        )
+    # Rank programs without a storage exchange never touch the
+    # communicator, so their shards resume independently; routed programs
+    # must keep the exchange symmetric across ranks.
+    shard_mode = (
+        "independent"
+        if storage is None and scheme in ("1d", "2d")
+        else "collective"
+    )
+    runner = functools.partial(
+        spmd_run_supervised,
+        fault_plan=fault_plan,
+        max_attempts=max_attempts,
+        checkpoint=checkpoint_dir,
+        run_key=run_key,
+        shard_mode=shard_mode,
+        report=report,
+    )
+    return generate_distributed(
+        el_a,
+        el_b,
+        nranks,
+        scheme=scheme,
+        storage=storage,
+        backend=backend,
+        chunk_size=chunk_size,
+        routing=routing,
+        runner=runner,
+    )
+
+
+# --------------------------------------------------------------------- #
+# chaos harness
+# --------------------------------------------------------------------- #
+@contextmanager
+def _recv_timeout_env(seconds: float | None):
+    """Temporarily pin ``REPRO_RECV_TIMEOUT`` (None = leave untouched)."""
+    if seconds is None:
+        yield
+        return
+    old = os.environ.get(RECV_TIMEOUT_ENV)
+    os.environ[RECV_TIMEOUT_ENV] = str(seconds)
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop(RECV_TIMEOUT_ENV, None)
+        else:
+            os.environ[RECV_TIMEOUT_ENV] = old
+
+
+def canonical_edges(edges: np.ndarray) -> np.ndarray:
+    """Edges in canonical (lexicographic) row order for bit-comparison.
+
+    Distributed reassembly order varies with world size and backend; the
+    canonical sort makes "same multiset" checkable as array equality.
+    """
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    order = np.lexsort((edges[:, 1], edges[:, 0]))
+    return edges[order]
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """One (plan, backend, routing) cell of the chaos matrix."""
+
+    plan: str
+    backend: str
+    routing: str
+    recovered: bool
+    identical: bool
+    attempts: int
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.recovered and self.identical
+
+
+@dataclass
+class ChaosReport:
+    """Every cell of one chaos-matrix run."""
+
+    outcomes: list[ChaosOutcome] = field(default_factory=list)
+
+    @property
+    def all_recovered(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    def to_text(self) -> str:
+        lines = [
+            f"{'plan':<16}{'backend':<9}{'routing':<9}"
+            f"{'attempts':>9}  status"
+        ]
+        for o in self.outcomes:
+            if o.ok:
+                status = "recovered, bit-identical"
+            elif o.recovered:
+                status = "RAN BUT OUTPUT DIVERGED"
+            else:
+                status = f"FAILED: {o.error}"
+            lines.append(
+                f"{o.plan:<16}{o.backend:<9}{o.routing:<9}"
+                f"{o.attempts:>9}  {status}"
+            )
+        good = sum(o.ok for o in self.outcomes)
+        lines.append(f"{good}/{len(self.outcomes)} cells recovered")
+        return "\n".join(lines)
+
+
+def run_chaos_matrix(
+    el_a: EdgeList,
+    el_b: EdgeList,
+    nranks: int = 4,
+    *,
+    plans: list[FaultPlan] | None = None,
+    seed: int = 0,
+    backends: tuple[str, ...] = ("thread", "process"),
+    routings: tuple[str, ...] = ("fused", "legacy"),
+    scheme: str = "1d",
+    storage: str | None = "source_block",
+    chunk_size: int = DEFAULT_CHUNK,
+    recv_timeout_s: float | None = 2.0,
+    max_attempts: int = 4,
+    checkpoint_root: str | os.PathLike | None = None,
+) -> ChaosReport:
+    """Drive every fault plan against supervised generation.
+
+    For each plan x backend cell (routing rotates across cells so both
+    hot paths face every fault kind), run
+    :func:`generate_distributed_supervised` under the plan and compare the
+    recovered product -- in canonical edge order -- bit-for-bit against
+    the fault-free reference.  ``recv_timeout_s`` pins
+    ``REPRO_RECV_TIMEOUT`` for the duration so dropped-message timeouts
+    resolve in seconds, not minutes.
+    """
+    if plans is None:
+        plans = default_fault_matrix(seed=seed, nranks=nranks)
+    references: dict[str, np.ndarray] = {}
+    for routing in routings:
+        el, _ = generate_distributed(
+            el_a, el_b, nranks, scheme=scheme, storage=storage,
+            backend="thread", chunk_size=chunk_size, routing=routing,
+        )
+        references[routing] = canonical_edges(el.edges)
+    report = ChaosReport()
+    with _recv_timeout_env(recv_timeout_s):
+        for i, plan in enumerate(plans):
+            for j, backend in enumerate(backends):
+                routing = routings[(i + j) % len(routings)]
+                sup = SupervisorReport()
+                checkpoint_dir = (
+                    Path(checkpoint_root) / f"{i:02d}-{plan.label()}-{backend}"
+                    if checkpoint_root is not None
+                    else None
+                )
+                try:
+                    el, _ = generate_distributed_supervised(
+                        el_a, el_b, nranks, scheme=scheme, storage=storage,
+                        backend=backend, chunk_size=chunk_size,
+                        routing=routing, fault_plan=plan,
+                        max_attempts=max_attempts,
+                        checkpoint_dir=checkpoint_dir, report=sup,
+                    )
+                except ReproError as exc:
+                    report.outcomes.append(
+                        ChaosOutcome(
+                            plan=plan.label(), backend=backend,
+                            routing=routing, recovered=False,
+                            identical=False, attempts=sup.attempts,
+                            error=str(exc).splitlines()[0],
+                        )
+                    )
+                    continue
+                identical = np.array_equal(
+                    canonical_edges(el.edges), references[routing]
+                )
+                report.outcomes.append(
+                    ChaosOutcome(
+                        plan=plan.label(), backend=backend, routing=routing,
+                        recovered=True, identical=identical,
+                        attempts=sup.attempts,
+                    )
+                )
+    return report

@@ -15,7 +15,13 @@ __all__ = [
     "PartitionError",
     "CommunicatorError",
     "CollectiveOrderError",
+    "RankCrashError",
+    "RankFailedError",
+    "RankDiedError",
+    "CheckpointError",
     "ExperimentError",
+    "ReproWarning",
+    "DegradationWarning",
 ]
 
 
@@ -63,5 +69,73 @@ class CollectiveOrderError(CommunicatorError):
     """
 
 
+class RankCrashError(CommunicatorError):
+    """A rank was deliberately killed by the fault-injection harness.
+
+    Raised by :class:`repro.distributed.faults.FaultyCommunicator` at the
+    Nth communication operation of a rank scheduled to crash; the
+    supervised launcher treats it like any other rank death (retryable).
+    """
+
+
+class RankFailedError(CommunicatorError):
+    """A rank program raised; the launcher cancelled the world.
+
+    ``rank`` is the failing rank and ``original_type`` the exception class
+    name raised inside the rank program (the process backend ships
+    tracebacks as strings, so only the name survives the hop).  The
+    supervisor uses ``original_type`` to decide retryability.
+    """
+
+    def __init__(self, rank: int, original_type: str, detail: str) -> None:
+        super().__init__(f"rank {rank} failed ({original_type}):\n{detail}")
+        self.rank = rank
+        self.original_type = original_type
+
+
+class RankDiedError(CommunicatorError):
+    """A rank process vanished without reporting a result.
+
+    Raised by the process backend's liveness monitor when a child exits
+    (segfault, OOM kill, ``kill -9``) before putting anything on the
+    result queue; ``ranks`` names the dead ranks.
+    """
+
+    def __init__(self, message: str, ranks: tuple[int, ...] = ()) -> None:
+        super().__init__(message)
+        self.ranks = tuple(ranks)
+
+
+class CheckpointError(ReproError):
+    """A shard checkpoint is unusable or contradicts a re-execution.
+
+    Raised when a recovered shard's content digest does not match the
+    digest recorded at checkpoint time, or when a re-executed shard
+    produces output whose digest differs from the persisted one --
+    deterministic generation makes either a hard error, never retryable.
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment driver was configured inconsistently."""
+
+
+class ReproWarning(UserWarning):
+    """Base class for warnings emitted by :mod:`repro`."""
+
+
+class DegradationWarning(ReproWarning):
+    """A subsystem fell back to a slower but functional path.
+
+    Structured: ``component`` names what degraded, ``fallback`` what it
+    degraded to, and ``reason`` why -- so operators can alert on the
+    fields rather than parse the message.
+    """
+
+    def __init__(self, component: str, fallback: str, reason: str) -> None:
+        super().__init__(
+            f"{component}: {reason}; degrading to {fallback}"
+        )
+        self.component = component
+        self.fallback = fallback
+        self.reason = reason

@@ -1,4 +1,4 @@
-"""The four SPMD rule families.
+"""The five SPMD rule families.
 
 Importing this package registers every rule with the framework registry
 (:func:`repro.lint.core.register`):
@@ -15,16 +15,22 @@ Importing this package registers every rule with the framework registry
 ``determinism`` (warning)
     ground-truth output must not depend on set iteration order, global
     ``np.random`` state, or time-derived seeds.
+``timeout-literal`` (error)
+    distributed waits must derive from ``recv_timeout()`` so one
+    environment variable rescales the whole failure-detection ladder;
+    bare numeric ``timeout=`` literals are flagged.
 """
 
 from repro.lint.rules.buffers import BufferOwnershipRule
 from repro.lint.rules.collectives import CollectiveSymmetryRule
 from repro.lint.rules.determinism import DeterminismRule
 from repro.lint.rules.dtypes import DtypeOverflowRule
+from repro.lint.rules.timeouts import TimeoutLiteralRule
 
 __all__ = [
     "CollectiveSymmetryRule",
     "BufferOwnershipRule",
     "DtypeOverflowRule",
     "DeterminismRule",
+    "TimeoutLiteralRule",
 ]

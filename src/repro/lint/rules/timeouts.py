@@ -1,0 +1,71 @@
+"""timeout-literal: distributed timeouts must derive from ``recv_timeout()``.
+
+The runtime's one tunable deadline is ``REPRO_RECV_TIMEOUT`` (read at call
+time by :func:`repro.distributed.comm.recv_timeout`); every other wait --
+queue polls, join deadlines, liveness grace -- is derived from it so that
+pinning one environment variable rescales the whole failure-detection
+ladder (chaos runs pin it to ~2s, production leaves the 60s default).  A
+bare numeric ``timeout=3.0`` hidden in a call sidesteps that: it neither
+scales down for fault-injection runs nor up for slow machines, and it is
+exactly how the historical hardcoded 300s/30s launcher waits crept in.
+
+Scoped to ``distributed/``, this rule flags any call passing a plain
+numeric literal to a ``timeout`` keyword (``timeout=`` or
+``timeout_s=``).  ``None`` and ``0`` are exempt (``None`` means "no
+timeout" and ``0`` means "non-blocking" -- neither is a duration to
+scale); named constants, arithmetic on ``recv_timeout()`` /
+``poll_interval()``, and variables all pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.core import Finding, LintContext, Rule, register
+
+__all__ = ["TimeoutLiteralRule"]
+
+_TIMEOUT_KWARGS = frozenset({"timeout", "timeout_s"})
+
+
+def _bare_duration_literal(expr: ast.expr) -> bool:
+    """A plain numeric constant that is a real duration (not None/0/bool)."""
+    if not isinstance(expr, ast.Constant):
+        return False
+    value = expr.value
+    if value is None or isinstance(value, bool):
+        return False
+    return isinstance(value, (int, float)) and value != 0
+
+
+@register
+class TimeoutLiteralRule(Rule):
+    name = "timeout-literal"
+    severity = "error"
+    description = (
+        "distributed code must derive timeouts from recv_timeout(), not "
+        "bare numeric literals"
+    )
+    scope_dirs = ("distributed",)
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterable[Finding]:
+        out: list[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for kw in node.keywords:
+                if kw.arg in _TIMEOUT_KWARGS and _bare_duration_literal(
+                    kw.value
+                ):
+                    out.append(
+                        ctx.finding(
+                            self,
+                            kw.value,
+                            f"bare numeric {kw.arg}={kw.value.value!r}: "
+                            f"derive waits from recv_timeout() / "
+                            f"poll_interval() so REPRO_RECV_TIMEOUT "
+                            f"rescales the whole failure-detection ladder",
+                        )
+                    )
+        return out

@@ -1,0 +1,105 @@
+"""Unit tests for repro.distributed.checkpoint: digest + store semantics."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.checkpoint import CheckpointStore, edges_digest
+from repro.errors import CheckpointError, DegradationWarning
+
+
+EDGES = np.array([[0, 1], [1, 2], [2, 0], [3, 3]], dtype=np.int64)
+
+
+class TestDigest:
+    def test_deterministic(self):
+        assert edges_digest(EDGES) == edges_digest(EDGES.copy())
+
+    def test_order_sensitive(self):
+        assert edges_digest(EDGES) != edges_digest(EDGES[::-1])
+
+    def test_value_sensitive(self):
+        tweaked = EDGES.copy()
+        tweaked[0, 0] += 1
+        assert edges_digest(EDGES) != edges_digest(tweaked)
+
+    def test_length_sensitive(self):
+        assert edges_digest(EDGES) != edges_digest(EDGES[:-1])
+
+    def test_empty_ok(self):
+        empty = np.empty((0, 2), dtype=np.int64)
+        assert edges_digest(empty) == edges_digest(empty)
+        assert edges_digest(empty) != edges_digest(EDGES)
+
+    def test_fits_uint64(self):
+        assert 0 <= edges_digest(EDGES) < 1 << 64
+
+
+class TestStore:
+    def test_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        digest = store.put("shard", EDGES, generated=7)
+        shard = store.get("shard")
+        assert shard is not None
+        np.testing.assert_array_equal(shard.edges, EDGES)
+        assert shard.generated == 7
+        assert shard.digest == digest == edges_digest(EDGES)
+
+    def test_missing_is_none(self, tmp_path):
+        assert CheckpointStore(tmp_path).get("nope") is None
+
+    def test_has_and_discard(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.put("k", EDGES)
+        assert store.has("k")
+        store.discard("k")
+        assert not store.has("k")
+        store.discard("k")  # idempotent
+
+    def test_keys_sanitized(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.put("gen/run:0 weird", EDGES)
+        assert store.keys() == ["gen_run_0_weird"]
+        assert store.get("gen/run:0 weird") is not None
+
+    def test_overwrite(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.put("k", EDGES)
+        other = EDGES[:2]
+        store.put("k", other)
+        np.testing.assert_array_equal(store.get("k").edges, other)
+
+    def test_corruption_degrades_to_absent(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.put("k", EDGES)
+        path = store._path("k")
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.warns(DegradationWarning, match="regenerating"):
+            assert store.get("k") is None
+
+    def test_corruption_strict_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.put("k", EDGES)
+        store._path("k").write_bytes(b"not a checkpoint")
+        with pytest.raises(CheckpointError, match="k"):
+            store.get("k", strict=True)
+
+    def test_digest_mismatch_detected(self, tmp_path):
+        # A well-formed npz whose recorded digest disagrees with its data
+        # (e.g. a checkpoint restored from the wrong backup).
+        store = CheckpointStore(tmp_path)
+        store.put("k", EDGES)
+        with open(store._path("k"), "wb") as fh:
+            np.savez(
+                fh,
+                edges=EDGES,
+                generated=np.int64(0),
+                digest=np.uint64(edges_digest(EDGES) ^ 1),
+            )
+        with pytest.warns(DegradationWarning, match="digest"):
+            assert store.get("k") is None
+
+    def test_no_tmp_litter(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for i in range(4):
+            store.put(f"k{i}", EDGES)
+        assert not list(tmp_path.glob("*.tmp"))

@@ -423,3 +423,85 @@ class TestFramework:
         """
         only = findings_for(src, select=["dtype-overflow"])
         assert {f.rule for f in only} == {"dtype-overflow"}
+
+
+class TestTimeoutLiteral:
+    def test_bare_float_timeout_flagged(self):
+        fs = findings_for(
+            """
+            def reap(q):
+                return q.get(timeout=30.0)
+            """,
+            path="distributed/launcher.py",
+        )
+        assert [f.rule for f in fs] == ["timeout-literal"]
+        assert fs[0].severity == "error"
+        assert "recv_timeout" in fs[0].message
+
+    def test_bare_int_timeout_flagged(self):
+        fs = findings_for(
+            """
+            def join(t):
+                t.join(timeout=300)
+            """,
+            path="distributed/launcher.py",
+        )
+        assert [f.rule for f in fs] == ["timeout-literal"]
+
+    def test_timeout_s_kwarg_flagged(self):
+        fs = findings_for(
+            """
+            def f(x):
+                return x.wait(timeout_s=5)
+            """,
+            path="distributed/supervisor.py",
+        )
+        assert [f.rule for f in fs] == ["timeout-literal"]
+
+    def test_derived_timeout_passes(self):
+        fs = findings_for(
+            """
+            from repro.distributed.comm import poll_interval, recv_timeout
+
+            def reap(q):
+                return q.get(timeout=poll_interval())
+
+            def join(t):
+                t.join(timeout=5.0 * recv_timeout())
+            """,
+            path="distributed/launcher.py",
+        )
+        assert fs == []
+
+    def test_none_and_zero_exempt(self):
+        fs = findings_for(
+            """
+            def f(q):
+                q.get(timeout=None)
+                q.get(timeout=0)
+            """,
+            path="distributed/launcher.py",
+        )
+        assert fs == []
+
+    def test_named_constant_passes(self):
+        fs = findings_for(
+            """
+            GRACE = 3
+
+            def f(q, poll):
+                return q.get(timeout=GRACE * poll)
+            """,
+            path="distributed/launcher.py",
+        )
+        assert fs == []
+
+    def test_out_of_scope_dir_ignored(self):
+        fs = findings_for(
+            """
+            def f(q):
+                return q.get(timeout=30.0)
+            """,
+            path="analytics/bfs.py",
+        )
+        assert fs == []
