@@ -27,3 +27,10 @@ PYTHONPATH=src python -m pytest benchmarks/bench_kernels.py \
     "${@:2}"
 
 echo "benchmark baseline written to ${OUT}"
+
+# End-to-end generation trajectory (edges/sec, bytes shuffled, per-stage
+# wall time, fused vs legacy) via the telemetry layer; the committed
+# BENCH_generation.json at the repo root is the seed baseline to diff
+# against.
+PYTHONPATH=src python benchmarks/trajectory.py \
+    --out "${REPO_ROOT}/BENCH_generation.json"

@@ -1,0 +1,153 @@
+"""Generation perf trajectory: one JSON snapshot per run_benchmarks.sh run.
+
+Runs the distributed generator end-to-end under a telemetry session --
+fused vs legacy routing on the same factor pair -- and writes
+``BENCH_generation.json`` (repo root by default) with the numbers the
+project tracks release over release:
+
+* ``edges_per_s``: product edges generated per wall-clock second;
+* ``bytes_shuffled``: total ``alltoall`` payload bytes across all ranks,
+  straight from the instrumented communicator's counters;
+* ``stage_seconds``: per-stage wall time summed over ranks (generate /
+  route / exchange spans), so a regression shows *which* stage moved;
+* ``speedup_fused_vs_legacy``: the headline ratio the fused hot path is
+  expected to keep above 1.0.
+
+Plain script, not a pytest-benchmark module: it needs the telemetry
+aggregation path (which pytest-benchmark's timer-only harness cannot
+see), and ``pyproject.toml`` keeps pytest collection out of
+``benchmarks/`` anyway.  Usage::
+
+    PYTHONPATH=src python benchmarks/trajectory.py [--out BENCH_generation.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+from pathlib import Path
+
+from repro.distributed.generator import generate_distributed
+from repro.graph.generators import erdos_renyi
+from repro.telemetry import TelemetrySession
+from repro.telemetry.clock import perf_clock, wall_clock
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Same seeded pair the kernel benches use (benchmarks/conftest.py): big
+#: enough that per-rank work dominates launch overhead, small enough for CI.
+FACTOR_N = 40
+FACTOR_P = 0.25
+FACTOR_SEEDS = (1001, 1002)
+
+
+def run_case(
+    routing: str,
+    a,
+    b,
+    ranks: int,
+    backend: str,
+    chunk_size: int,
+    repeat: int,
+) -> dict:
+    """Best-of-``repeat`` traced generation under one routing mode."""
+    best = None
+    for _ in range(repeat):
+        session = TelemetrySession()
+        t0 = perf_clock()
+        el, _ = generate_distributed(
+            a,
+            b,
+            ranks,
+            scheme="1d",
+            storage="source_block",
+            backend=backend,
+            routing=routing,
+            chunk_size=chunk_size,
+            telemetry=session,
+        )
+        wall_s = perf_clock() - t0
+        if best is not None and wall_s >= best["wall_s"]:
+            continue
+        counters = session.aggregated_metrics()["counters"]
+        best = {
+            "routing": routing,
+            "edges": int(el.m_directed),
+            "wall_s": wall_s,
+            "edges_per_s": el.m_directed / wall_s,
+            "bytes_shuffled": int(counters.get("comm.alltoall.bytes_out", 0)),
+            "alltoall_calls": int(counters.get("comm.alltoall.calls", 0)),
+            "stage_seconds": {
+                name: totals["seconds"]
+                for name, totals in sorted(session.span_totals().items())
+                if not name.startswith("comm.")
+            },
+        }
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_generation.json"),
+        help="output JSON path (default: BENCH_generation.json at repo root)",
+    )
+    parser.add_argument("--ranks", type=int, default=4)
+    parser.add_argument("--backend", default="thread",
+                        choices=("thread", "process"))
+    parser.add_argument("--chunk-size", type=int, default=1 << 15)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="repetitions per case; best wall time kept")
+    args = parser.parse_args(argv)
+
+    a = erdos_renyi(FACTOR_N, FACTOR_P, seed=FACTOR_SEEDS[0])
+    b = erdos_renyi(FACTOR_N, FACTOR_P, seed=FACTOR_SEEDS[1])
+
+    cases = {
+        routing: run_case(
+            routing, a, b, args.ranks, args.backend, args.chunk_size,
+            args.repeat,
+        )
+        for routing in ("fused", "legacy")
+    }
+    result = {
+        "benchmark": "generation-trajectory",
+        "timestamp_unix": wall_clock(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workload": {
+            "factors": f"ER(n={FACTOR_N}, p={FACTOR_P}) x 2, "
+                       f"seeds {FACTOR_SEEDS}",
+            "factor_edges": [int(a.m_directed), int(b.m_directed)],
+            "scheme": "1d",
+            "storage": "source_block",
+            "ranks": args.ranks,
+            "backend": args.backend,
+            "chunk_size": args.chunk_size,
+            "repeat": args.repeat,
+        },
+        "cases": cases,
+        "speedup_fused_vs_legacy": (
+            cases["legacy"]["wall_s"] / cases["fused"]["wall_s"]
+        ),
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+
+    print(f"generation trajectory written to {args.out}")
+    for routing, case in cases.items():
+        print(
+            f"  {routing:<7} {case['edges']:>9} edges  "
+            f"{case['edges_per_s'] / 1e6:7.2f} Medges/s  "
+            f"{case['bytes_shuffled'] / 1e6:7.2f} MB shuffled"
+        )
+    print(f"  fused vs legacy speedup: "
+          f"{result['speedup_fused_vs_legacy']:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

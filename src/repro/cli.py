@@ -11,6 +11,7 @@ Kronecker graph", plus ground-truth and validation commands::
     repro-kron experiments                        # full E1-E8 + ablations
     repro-kron lint src --baseline lint-baseline.json   # SPMD static analysis
     repro-kron chaos --ranks 4 --seed 0           # seeded fault-injection matrix
+    repro-kron trace --ranks 8 --out trace.json   # traced generation (Perfetto)
 
 Factor files are detected by extension: ``.txt``/``.tsv``/``.el`` (edge
 list), ``.npz`` (binary), ``.mtx``/``.mm`` (Matrix Market).
@@ -176,8 +177,107 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         max_attempts=args.max_attempts,
         checkpoint_root=args.checkpoint_root,
     )
-    print(report.to_text())
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.to_text())
     return 0 if report.all_recovered else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one traced supervised generation; write trace + metrics JSON.
+
+    With no factor files, the built-in K4 (x) C5 pair keeps the run small
+    while still exercising every rank pair.  The run always goes through
+    the supervised launcher with a checkpoint directory (a temporary one
+    unless ``--checkpoint-dir`` pins it), so the trace contains all four
+    phase span kinds: ``generate``, ``route``, ``exchange``,
+    ``checkpoint``.  Exits non-zero if the cross-rank aggregated edge
+    counters do not sum to the exact product edge count -- the trace
+    doubles as an end-to-end consistency check.
+    """
+    import contextlib
+    import json
+    import tempfile
+
+    from repro.distributed.supervisor import generate_distributed_supervised
+    from repro.telemetry import TelemetrySession
+
+    if args.factor_a and args.factor_b:
+        a = _prepare(load_factor(args.factor_a), args)
+        b = _prepare(load_factor(args.factor_b), args)
+    else:
+        from repro.graph.generators import clique, cycle
+
+        a, b = clique(4), cycle(5)
+    session = TelemetrySession()
+    with contextlib.ExitStack() as stack:
+        checkpoint_dir = args.checkpoint_dir
+        if checkpoint_dir is None:
+            checkpoint_dir = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-trace-ckpt-")
+            )
+        el, _outputs = generate_distributed_supervised(
+            a,
+            b,
+            args.ranks,
+            scheme=args.scheme,
+            storage=args.storage,
+            backend=args.backend,
+            chunk_size=args.chunk_size,
+            routing=args.routing,
+            checkpoint_dir=checkpoint_dir,
+            telemetry=session,
+        )
+    session.write_chrome_trace(args.out)
+
+    expected = a.m_directed * b.m_directed
+    summary = session.metrics_summary()
+    counters = summary["aggregate"]["counters"]
+    generated = int(counters.get("edges.generated", 0))
+    restored = int(counters.get("edges.restored", 0))
+    stored = int(counters.get("edges.stored", 0))
+    # Checkpoint-resumed shards are restored, not regenerated; either way
+    # every product edge must be accounted for exactly once.
+    exact = (
+        generated + restored == expected == el.m_directed
+        and stored == expected
+    )
+    summary = {
+        "workload": {
+            "factor_a": args.factor_a or "builtin:K4",
+            "factor_b": args.factor_b or "builtin:C5",
+            "ranks": args.ranks,
+            "scheme": args.scheme,
+            "storage": args.storage,
+            "routing": args.routing,
+            "backend": args.backend,
+        },
+        "expected_edges": expected,
+        "edge_counts_exact": exact,
+        "span_totals": session.span_totals(),
+        **summary,
+    }
+    metrics_out = args.metrics_out
+    if metrics_out is None:
+        out = Path(args.out)
+        metrics_out = out.with_name(out.stem + "-metrics.json")
+    with open(metrics_out, "w", encoding="utf-8") as fh:
+        json.dump(summary, fh, indent=2)
+
+    nevents = sum(len(snap.events) for snap in session.ranks)
+    print(f"trace: {args.out} ({nevents} events, one lane per rank "
+          f"x {len(session.ranks)} ranks; load in chrome://tracing "
+          f"or https://ui.perfetto.dev)")
+    print(f"metrics: {metrics_out}")
+    status = "exact" if exact else "MISMATCH"
+    print(f"edges: generated {generated}, restored {restored}, "
+          f"stored {stored}, expected |E(A(x)B)| {expected} -- {status}")
+    alltoall = int(counters.get("comm.alltoall.bytes_out", 0))
+    print(f"bytes shuffled (alltoall, all ranks): {alltoall}")
+    return 0 if exact else 1
 
 
 # --------------------------------------------------------------------- #
@@ -267,7 +367,44 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--checkpoint-root", default=None,
                    help="directory for per-cell shard checkpoints "
                         "(default: no checkpointing)")
+    c.add_argument("--json", action="store_true",
+                   help="emit the machine-readable report (per-cell "
+                        "outcome, attempts, recovery time) instead of "
+                        "the text table")
     c.set_defaults(func=cmd_chaos)
+
+    tr = sub.add_parser(
+        "trace",
+        help="run one traced generation; write Chrome/Perfetto trace "
+             "JSON and a per-rank metrics summary",
+    )
+    tr.add_argument("factor_a", nargs="?", default=None,
+                    help="factor A file (default: built-in K4)")
+    tr.add_argument("factor_b", nargs="?", default=None,
+                    help="factor B file (default: built-in C5)")
+    tr.add_argument("--symmetrize", action="store_true",
+                    help="symmetrize factors after reading (directed inputs)")
+    tr.add_argument("--self-loops", action="store_true",
+                    help="add a self loop on every factor vertex")
+    tr.add_argument("--ranks", type=int, default=8, help="world size")
+    tr.add_argument("--scheme", choices=("1d", "1d-pipelined", "2d"),
+                    default="1d")
+    tr.add_argument("--storage", choices=("source_block", "edge_hash"),
+                    default="source_block")
+    tr.add_argument("--routing", choices=("fused", "legacy"),
+                    default="fused")
+    tr.add_argument("--backend", choices=("inline", "thread", "process"),
+                    default="thread")
+    tr.add_argument("--chunk-size", type=int, default=1 << 20)
+    tr.add_argument("--out", default="trace.json",
+                    help="trace-event JSON output path")
+    tr.add_argument("--metrics-out", default=None,
+                    help="metrics summary JSON path "
+                         "(default: <out stem>-metrics.json)")
+    tr.add_argument("--checkpoint-dir", default=None,
+                    help="shard checkpoint directory (default: a "
+                         "temporary directory, discarded after the run)")
+    tr.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -33,6 +33,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import CheckpointError, DegradationWarning
+from repro.telemetry.session import record_degradation
 from repro.util.hashing import hash_pair, splitmix64
 
 __all__ = ["edges_digest", "CheckpointStore", "Shard"]
@@ -155,6 +156,9 @@ class CheckpointStore:
     ) -> None:
         if strict:
             raise CheckpointError(f"checkpoint {key!r} at {path}: {reason}")
+        record_degradation(
+            f"checkpoint {key!r}", "regenerating the shard", reason
+        )
         warnings.warn(
             DegradationWarning(
                 f"checkpoint {key!r}", "regenerating the shard", reason

@@ -54,6 +54,7 @@ from repro.kronecker.product import (
     kron_routed_full,
     routed_chunk_count,
 )
+from repro.telemetry.session import NULL_TELEMETRY, telemetry_of
 
 __all__ = [
     "RankOutput",
@@ -123,25 +124,30 @@ def _generate_cells_routed(
     nparts: int,
     n_c: int,
     chunk_size: int,
+    tel=NULL_TELEMETRY,
 ) -> tuple[list[np.ndarray], int]:
     """Generate this rank's cells directly into per-owner buckets.
 
     Each cell's per-owner slices are exactly preallocated by
     :func:`kron_routed_full`; multi-cell ranks (folded 2-D grids) stack the
-    per-cell buckets owner-wise.
+    per-cell buckets owner-wise.  On the fused path owner assignment is
+    analytic, so the "route" phase degenerates to the owner-wise stack --
+    the trace shows it that way on purpose.
     """
     per_owner: list[list[np.ndarray]] = [[] for _ in range(nparts)]
     generated = 0
-    for part_a, part_b in cells:
-        buckets = kron_routed_full(part_a, part_b, nparts, n_c, chunk_size)
-        for d, blk in enumerate(buckets):
-            if len(blk):
-                per_owner[d].append(blk)
-                generated += len(blk)
-    outgoing = [
-        np.vstack(blks) if len(blks) > 1 else (blks[0] if blks else _EMPTY)
-        for blks in per_owner
-    ]
+    with tel.span("generate", cat="phase", routing="fused"):
+        for part_a, part_b in cells:
+            buckets = kron_routed_full(part_a, part_b, nparts, n_c, chunk_size)
+            for d, blk in enumerate(buckets):
+                if len(blk):
+                    per_owner[d].append(blk)
+                    generated += len(blk)
+    with tel.span("route", cat="phase", method="fused"):
+        outgoing = [
+            np.vstack(blks) if len(blks) > 1 else (blks[0] if blks else _EMPTY)
+            for blks in per_owner
+        ]
     return outgoing, generated
 
 
@@ -155,20 +161,27 @@ def _route_and_store(
 ) -> RankOutput:
     """Shared body of the batch (non-pipelined) rank programs."""
     _check_routing(routing)
+    tel = telemetry_of(comm)
     if storage is None or comm.size == 1:
-        edges, generated = _generate_cells(cells, chunk_size)
+        with tel.span("generate", cat="phase", routing=routing):
+            edges, generated = _generate_cells(cells, chunk_size)
+        tel.add("edges.generated", generated)
+        tel.add("edges.stored", len(edges))
         return RankOutput(comm.rank, edges, generated)
     if routing == "fused" and storage == "source_block":
         outgoing, generated = _generate_cells_routed(
-            cells, comm.size, n_c, chunk_size
+            cells, comm.size, n_c, chunk_size, tel
         )
         edges = exchange_edges(comm, outgoing)
     else:
-        edges, generated = _generate_cells(cells, chunk_size)
+        with tel.span("generate", cat="phase", routing=routing):
+            edges, generated = _generate_cells(cells, chunk_size)
         method = "scatter" if routing == "fused" else "argsort"
         edges = shuffle_to_owners(
             comm, edges, scheme=storage, n=n_c, method=method
         )
+    tel.add("edges.generated", generated)
+    tel.add("edges.stored", len(edges))
     return RankOutput(comm.rank, edges, generated)
 
 
@@ -220,6 +233,7 @@ def generate_distributed(
     chunk_size: int = DEFAULT_CHUNK,
     routing: str = "fused",
     runner=spmd_run,
+    telemetry=None,
 ) -> tuple[EdgeList, list[RankOutput]]:
     """Generate ``C = A (x) B`` across ``nranks`` ranks and reassemble.
 
@@ -247,6 +261,11 @@ def generate_distributed(
         launcher (:func:`repro.distributed.supervisor.spmd_run_supervised`)
         is passed here -- pre-bound with its retry/fault/checkpoint
         configuration -- to add recovery without the generator knowing.
+    telemetry:
+        Optional :class:`~repro.telemetry.session.TelemetrySession`,
+        forwarded to the runner.  ``None`` forwards nothing, so
+        ``spmd_run``-compatible runners without a ``telemetry`` parameter
+        keep working.
 
     Returns
     -------
@@ -256,6 +275,9 @@ def generate_distributed(
     """
     _check_routing(routing)
     n_c = el_a.n * el_b.n
+    run_kwargs = {"backend": backend}
+    if telemetry is not None:
+        run_kwargs["telemetry"] = telemetry
     if scheme == "1d-pipelined":
         if storage is None:
             storage = "source_block"
@@ -269,7 +291,7 @@ def generate_distributed(
             storage,
             chunk_size,
             routing,
-            backend=backend,
+            **run_kwargs,
         )
     elif scheme == "1d":
         parts_a = partition_edges_1d(el_a, nranks)
@@ -282,7 +304,7 @@ def generate_distributed(
             storage,
             chunk_size,
             routing,
-            backend=backend,
+            **run_kwargs,
         )
     elif scheme == "2d":
         assignments = partition_edges_2d(el_a, el_b, nranks)
@@ -294,7 +316,7 @@ def generate_distributed(
             storage,
             chunk_size,
             routing,
-            backend=backend,
+            **run_kwargs,
         )
     else:
         raise PartitionError(
@@ -345,6 +367,7 @@ def generate_rank_1d_pipelined(
     ranks that exhaust their chunks early participating with empty blocks.
     """
     _check_routing(routing)
+    tel = telemetry_of(comm)
     part = parts_a[comm.rank]
     mb = el_b.m_directed
     fused_routed = routing == "fused" and storage == "source_block"
@@ -364,7 +387,8 @@ def generate_rank_1d_pipelined(
     stored: list[np.ndarray] = []
     generated = 0
     for _round in range(all_rounds):
-        block = next(chunks, None)
+        with tel.span("generate", cat="phase", round=_round):
+            block = next(chunks, None)
         if fused_routed:
             outgoing = empty_buckets if block is None else block
             generated += sum(len(b) for b in outgoing)
@@ -389,4 +413,6 @@ def generate_rank_1d_pipelined(
     for _block in chunks:  # pragma: no cover - defensive
         raise PartitionError("pipelined round count underestimated")
     edges = np.vstack(stored) if stored else _EMPTY
+    tel.add("edges.generated", generated)
+    tel.add("edges.stored", len(edges))
     return RankOutput(comm.rank, edges, generated)

@@ -35,7 +35,6 @@ import multiprocessing as mp
 import queue
 import signal
 import threading
-import time
 import traceback
 import warnings
 from typing import Any, Callable
@@ -53,6 +52,12 @@ from repro.errors import (
     DegradationWarning,
     RankDiedError,
     RankFailedError,
+)
+from repro.telemetry.clock import monotonic
+from repro.telemetry.session import (
+    TelemetrySession,
+    _TelemetryRankFn,
+    record_degradation,
 )
 
 __all__ = ["spmd_run"]
@@ -107,7 +112,7 @@ def _run_threads(
     ]
     for t in threads:
         t.start()
-    deadline = time.monotonic() + _RUN_TIMEOUT_FACTOR * recv_timeout()
+    deadline = monotonic() + _RUN_TIMEOUT_FACTOR * recv_timeout()
     while True:
         alive = [t for t in threads if t.is_alive()]
         if not alive:
@@ -118,7 +123,7 @@ def _run_threads(
             # Fail fast: surviving rank threads are daemonic and unwind on
             # their own recv/barrier timeouts; their world is discarded.
             break
-        if time.monotonic() > deadline:
+        if monotonic() > deadline:
             raise CommunicatorError(
                 "SPMD run deadlocked (thread join timed out after "
                 f"{_RUN_TIMEOUT_FACTOR:g} x recv_timeout)"
@@ -196,14 +201,14 @@ def _run_processes(
     reported: set[int] = set()
     failure: CommunicatorError | None = None
     timeout = _RUN_TIMEOUT_FACTOR * recv_timeout()
-    deadline = time.monotonic() + timeout
+    deadline = monotonic() + timeout
     dead_since: dict[int, float] = {}
     while len(reported) < nranks:
         poll = poll_interval()
         try:
             rank, ok, payload = result_q.get(timeout=poll)
         except queue.Empty:
-            now = time.monotonic()
+            now = monotonic()
             # Liveness: a child that died without reporting will never put
             # a result; give its (possibly already queued) result a few
             # polls to drain through the feeder thread, then declare it.
@@ -261,6 +266,7 @@ def spmd_run(
     backend: str = "thread",
     checked: bool | None = None,
     wrap_comm: CommWrapper | None = None,
+    telemetry: TelemetrySession | None = None,
 ) -> list[Any]:
     """Execute ``fn(comm, *args)`` on every rank; return results in rank order.
 
@@ -287,9 +293,35 @@ def spmd_run(
         Optional per-rank communicator wrapper applied beneath the sentinel
         -- the fault-injection hook (:mod:`repro.distributed.faults`).
         Must be picklable for the process backend.
+    telemetry:
+        Optional :class:`~repro.telemetry.session.TelemetrySession`.  When
+        given (and enabled), every rank runs with per-rank tracing and
+        metrics: its communicator -- including any sentinel/fault wrappers
+        -- is wrapped in an
+        :class:`~repro.telemetry.instrument.InstrumentedCommunicator`
+        (telemetry observes the stack from the outside), and the session
+        collects one :class:`~repro.telemetry.session.RankTrace` per rank
+        alongside the results.  ``None`` (the default) adds no wrapper at
+        all: rank programs see the shared no-op telemetry.
     """
     if nranks < 1:
         raise CommunicatorError(f"nranks must be >= 1, got {nranks}")
+    traced = telemetry is not None and telemetry.enabled
+    run_fn: RankFn = _TelemetryRankFn(fn, telemetry.config) if traced else fn
+    results = _dispatch(run_fn, nranks, args, backend, checked, wrap_comm)
+    if traced:
+        results = telemetry.ingest(results)
+    return results
+
+
+def _dispatch(
+    fn: RankFn,
+    nranks: int,
+    args: tuple,
+    backend: str,
+    checked: bool | None,
+    wrap_comm: CommWrapper | None,
+) -> list[Any]:
     if backend == "inline":
         if nranks != 1:
             raise CommunicatorError("inline backend supports only nranks == 1")
@@ -307,6 +339,11 @@ def spmd_run(
             )
         ctx = _fork_context()
         if ctx is None:  # pragma: no cover - non-posix
+            record_degradation(
+                "process backend",
+                "thread backend",
+                "fork start method unavailable on this platform",
+            )
             warnings.warn(
                 DegradationWarning(
                     "process backend",

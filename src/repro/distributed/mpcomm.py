@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.distributed.comm import Communicator, recv_timeout
 from repro.errors import CommunicatorError, DegradationWarning
+from repro.telemetry.session import record_degradation
 
 __all__ = ["ProcessCommunicator", "make_process_pipes", "SHM_MIN_BYTES"]
 
@@ -179,6 +180,11 @@ class ProcessCommunicator(Communicator):
                 # The pickled queue path is slower but always works, so
                 # degrade for the rest of this rank's life instead of dying.
                 self._zero_copy = False
+                record_degradation(
+                    f"zero-copy exchange (rank {self._rank})",
+                    "pickled queue messages",
+                    f"shared-memory segment creation failed: {exc}",
+                )
                 warnings.warn(
                     DegradationWarning(
                         f"zero-copy exchange (rank {self._rank})",

@@ -26,6 +26,7 @@ import numpy as np
 from repro.distributed.comm import Communicator
 from repro.distributed.partition import owners_by_edge_hash, owners_by_vertex_block
 from repro.errors import CommunicatorError
+from repro.telemetry.session import telemetry_of
 
 __all__ = [
     "counting_scatter",
@@ -173,11 +174,17 @@ def exchange_edges(
     :meth:`Communicator.alltoall`); the returned stack is a fresh array this
     rank owns.
     """
-    incoming = comm.alltoall(outgoing)
-    blocks = [b for b in map(_as_edge_block, incoming) if b is not None]
-    if not blocks:
-        return np.empty((0, 2), dtype=np.int64)
-    return np.vstack(blocks)
+    tel = telemetry_of(comm)
+    with tel.span("exchange", cat="phase"):
+        tel.add("edges.routed", sum(len(b) for b in outgoing if b is not None))
+        incoming = comm.alltoall(outgoing)
+        blocks = [b for b in map(_as_edge_block, incoming) if b is not None]
+        if not blocks:
+            received = np.empty((0, 2), dtype=np.int64)
+        else:
+            received = np.vstack(blocks)
+    tel.add("edges.received", len(received))
+    return received
 
 
 def shuffle_to_owners(
@@ -190,7 +197,8 @@ def shuffle_to_owners(
     method: str = "scatter",
 ) -> np.ndarray:
     """Bucket locally generated edges and exchange them in one collective."""
-    outgoing = bucket_edges(
-        edges, comm.size, scheme=scheme, n=n, seed=seed, method=method
-    )
+    with telemetry_of(comm).span("route", cat="phase", method=method):
+        outgoing = bucket_edges(
+            edges, comm.size, scheme=scheme, n=n, seed=seed, method=method
+        )
     return exchange_edges(comm, outgoing)

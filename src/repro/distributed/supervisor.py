@@ -48,6 +48,8 @@ from repro.errors import (
 )
 from repro.graph.edgelist import EdgeList
 from repro.kronecker.product import DEFAULT_CHUNK
+from repro.telemetry.clock import monotonic
+from repro.telemetry.session import telemetry_of
 
 __all__ = [
     "SupervisorReport",
@@ -136,18 +138,25 @@ class _CheckpointedRankFn:
         return f"{self.run_key}.rank{rank:05d}"
 
     def __call__(self, comm, *args):
-        store = CheckpointStore(self.directory)
-        key = self._key(comm.rank)
-        cached = store.get(key)
+        tel = telemetry_of(comm)
+        with tel.span("checkpoint", cat="phase", op="load"):
+            store = CheckpointStore(self.directory)
+            key = self._key(comm.rank)
+            cached = store.get(key)
         if self.shard_mode == "collective" and comm.size > 1:
             all_cached = comm.allreduce(
                 cached is not None, lambda a, b: a and b
             )
             if all_cached:
+                tel.add("checkpoint.hits")
+                tel.add("edges.restored", len(cached.edges))
+                tel.add("edges.stored", len(cached.edges))
                 return RankOutput(comm.rank, cached.edges, cached.generated)
+            tel.add("checkpoint.misses")
             out = self.fn(comm, *args)
             if cached is not None:
-                fresh = edges_digest(out.edges)
+                with tel.span("checkpoint", cat="phase", op="verify"):
+                    fresh = edges_digest(out.edges)
                 if fresh != cached.digest:
                     raise CheckpointError(
                         f"rank {comm.rank}: re-executed shard digest "
@@ -156,12 +165,18 @@ class _CheckpointedRankFn:
                         f"generation is expected to be deterministic"
                     )
             else:
-                store.put(key, out.edges, generated=out.generated)
+                with tel.span("checkpoint", cat="phase", op="store"):
+                    store.put(key, out.edges, generated=out.generated)
             return out
         if cached is not None:
+            tel.add("checkpoint.hits")
+            tel.add("edges.restored", len(cached.edges))
+            tel.add("edges.stored", len(cached.edges))
             return RankOutput(comm.rank, cached.edges, cached.generated)
+        tel.add("checkpoint.misses")
         out = self.fn(comm, *args)
-        store.put(key, out.edges, generated=out.generated)
+        with tel.span("checkpoint", cat="phase", op="store"):
+            store.put(key, out.edges, generated=out.generated)
         return out
 
 
@@ -180,6 +195,7 @@ def spmd_run_supervised(
     run_key: str | None = None,
     shard_mode: str = "collective",
     report: SupervisorReport | None = None,
+    telemetry=None,
 ) -> list:
     """Run ``fn`` across ``nranks`` ranks under supervision.
 
@@ -201,6 +217,12 @@ def spmd_run_supervised(
     report:
         Optional :class:`SupervisorReport` filled with attempt counts and
         per-attempt failure summaries.
+    telemetry:
+        Optional :class:`~repro.telemetry.session.TelemetrySession`,
+        forwarded to every :func:`spmd_run` attempt.  Retries additionally
+        land on the session's supervisor lane as instant events (attempt
+        number, error, backoff), so a recovered run's trace shows *why* it
+        took the time it took.
     """
     if max_attempts < 1:
         raise CommunicatorError(f"max_attempts must be >= 1, got {max_attempts}")
@@ -224,18 +246,29 @@ def spmd_run_supervised(
                 backend=backend,
                 checked=checked,
                 wrap_comm=wrap,
+                telemetry=telemetry,
             )
         except ReproError as exc:
             if report is not None:
                 report.attempts = attempt + 1
                 report.record_failure(attempt, exc)
-            if not _is_retryable(exc) or attempt + 1 >= max_attempts:
+            retrying = _is_retryable(exc) and attempt + 1 < max_attempts
+            if telemetry is not None and telemetry.enabled:
+                telemetry.record(
+                    "supervisor.retry" if retrying else "supervisor.giveup",
+                    attempt=attempt + 1,
+                    error=type(exc).__name__,
+                    backoff_s=min(delay, backoff_max) if retrying else 0.0,
+                )
+            if not retrying:
                 raise
             time.sleep(min(delay, backoff_max))
             delay *= backoff_factor
             continue
         if report is not None:
             report.attempts = attempt + 1
+        if telemetry is not None and telemetry.enabled and attempt:
+            telemetry.record("supervisor.recovered", attempts=attempt + 1)
         return results
     raise AssertionError("unreachable")  # pragma: no cover
 
@@ -276,6 +309,7 @@ def generate_distributed_supervised(
     checkpoint_dir: str | os.PathLike | None = None,
     run_key: str | None = None,
     report: SupervisorReport | None = None,
+    telemetry=None,
 ) -> tuple[EdgeList, list[RankOutput]]:
     """:func:`generate_distributed` under the supervised launcher.
 
@@ -316,6 +350,7 @@ def generate_distributed_supervised(
         chunk_size=chunk_size,
         routing=routing,
         runner=runner,
+        telemetry=telemetry,
     )
 
 
@@ -361,6 +396,9 @@ class ChaosOutcome:
     identical: bool
     attempts: int
     error: str = ""
+    #: Wall time of the whole cell -- including retries and backoff -- so
+    #: a report shows recovery *cost*, not just recovery success.
+    elapsed_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -380,7 +418,7 @@ class ChaosReport:
     def to_text(self) -> str:
         lines = [
             f"{'plan':<16}{'backend':<9}{'routing':<9}"
-            f"{'attempts':>9}  status"
+            f"{'attempts':>9}{'elapsed':>9}  status"
         ]
         for o in self.outcomes:
             if o.ok:
@@ -391,11 +429,33 @@ class ChaosReport:
                 status = f"FAILED: {o.error}"
             lines.append(
                 f"{o.plan:<16}{o.backend:<9}{o.routing:<9}"
-                f"{o.attempts:>9}  {status}"
+                f"{o.attempts:>9}{o.elapsed_s:>8.2f}s  {status}"
             )
         good = sum(o.ok for o in self.outcomes)
         lines.append(f"{good}/{len(self.outcomes)} cells recovered")
         return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        """Machine-readable report (``repro-kron chaos --json``)."""
+        return {
+            "cells": [
+                {
+                    "plan": o.plan,
+                    "backend": o.backend,
+                    "routing": o.routing,
+                    "recovered": o.recovered,
+                    "identical": o.identical,
+                    "ok": o.ok,
+                    "attempts": o.attempts,
+                    "elapsed_s": o.elapsed_s,
+                    "error": o.error,
+                }
+                for o in self.outcomes
+            ],
+            "cells_ok": sum(o.ok for o in self.outcomes),
+            "cells_total": len(self.outcomes),
+            "all_recovered": self.all_recovered,
+        }
 
 
 def run_chaos_matrix(
@@ -444,6 +504,7 @@ def run_chaos_matrix(
                     if checkpoint_root is not None
                     else None
                 )
+                t0 = monotonic()
                 try:
                     el, _ = generate_distributed_supervised(
                         el_a, el_b, nranks, scheme=scheme, storage=storage,
@@ -459,6 +520,7 @@ def run_chaos_matrix(
                             routing=routing, recovered=False,
                             identical=False, attempts=sup.attempts,
                             error=str(exc).splitlines()[0],
+                            elapsed_s=monotonic() - t0,
                         )
                     )
                     continue
@@ -470,6 +532,7 @@ def run_chaos_matrix(
                         plan=plan.label(), backend=backend, routing=routing,
                         recovered=True, identical=identical,
                         attempts=sup.attempts,
+                        elapsed_s=monotonic() - t0,
                     )
                 )
     return report

@@ -1,4 +1,4 @@
-"""The five SPMD rule families.
+"""The six SPMD rule families.
 
 Importing this package registers every rule with the framework registry
 (:func:`repro.lint.core.register`):
@@ -19,6 +19,11 @@ Importing this package registers every rule with the framework registry
     distributed waits must derive from ``recv_timeout()`` so one
     environment variable rescales the whole failure-detection ladder;
     bare numeric ``timeout=`` literals are flagged.
+``wall-clock`` (warning)
+    distributed code must take time from the injected clocks of
+    :mod:`repro.telemetry.clock`, not ``time.time()`` /
+    ``time.perf_counter()`` directly, so traces stay deterministic
+    under a fake clock.
 """
 
 from repro.lint.rules.buffers import BufferOwnershipRule
@@ -26,6 +31,7 @@ from repro.lint.rules.collectives import CollectiveSymmetryRule
 from repro.lint.rules.determinism import DeterminismRule
 from repro.lint.rules.dtypes import DtypeOverflowRule
 from repro.lint.rules.timeouts import TimeoutLiteralRule
+from repro.lint.rules.wallclock import WallClockRule
 
 __all__ = [
     "CollectiveSymmetryRule",
@@ -33,4 +39,5 @@ __all__ = [
     "DtypeOverflowRule",
     "DeterminismRule",
     "TimeoutLiteralRule",
+    "WallClockRule",
 ]

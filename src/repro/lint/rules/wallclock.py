@@ -1,0 +1,103 @@
+"""wall-clock: distributed code must take time from ``repro.telemetry.clock``.
+
+The telemetry layer injects clocks (:mod:`repro.telemetry.clock`): spans
+and metrics are timestamped by a callable the session configures, so
+tests swap in a :class:`~repro.telemetry.clock.FakeClock` and get
+deterministic traces, and the measurement clock is one config choice
+instead of a grep.  A direct ``time.time()`` / ``time.perf_counter()``
+inside ``distributed/`` bypasses the injection point: the reading never
+appears in a trace, cannot be faked in tests, and (for ``time.time``)
+jumps under NTP adjustments mid-run.
+
+Scoped to ``distributed/``, this rule flags
+
+* calls to ``time.time`` / ``time.perf_counter`` / ``time.monotonic`` /
+  ``time.process_time`` (and their ``_ns`` variants) through the module
+  attribute, and
+* ``from time import ...`` of those names (the call sites then look like
+  innocent local calls, so the import is the reliable anchor).
+
+``time.sleep`` is deliberately allowed -- it spends time rather than
+reads it (backoff, injected fault delays).  The named re-exports in
+:mod:`repro.telemetry.clock` (``monotonic`` for deadlines, ``perf_clock``
+for measurement) are the sanctioned replacements; the telemetry package
+itself is outside the rule's scope as the one place allowed to touch the
+real clock.
+
+Severity is ``warning``: a raw clock read is a maintainability smell,
+not a correctness bug like an asymmetric collective.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.core import Finding, LintContext, Rule, register
+
+__all__ = ["WallClockRule"]
+
+#: ``time`` module attributes that *read* a clock (sleep is allowed).
+_CLOCK_READS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+
+@register
+class WallClockRule(Rule):
+    name = "wall-clock"
+    severity = "warning"
+    description = (
+        "distributed code must take time from repro.telemetry.clock "
+        "(injected, fakeable), not time.time()/perf_counter() directly"
+    )
+    scope_dirs = ("distributed",)
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> Iterable[Finding]:
+        out: list[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "time"
+                    and func.attr in _CLOCK_READS
+                ):
+                    out.append(
+                        ctx.finding(
+                            self,
+                            node,
+                            f"direct time.{func.attr}() in distributed "
+                            f"code: use repro.telemetry.clock "
+                            f"(monotonic for deadlines, perf_clock for "
+                            f"measurement) so the clock stays injectable "
+                            f"and fakeable in tests",
+                        )
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module != "time" or node.level:
+                    continue
+                for alias in node.names:
+                    if alias.name in _CLOCK_READS:
+                        out.append(
+                            ctx.finding(
+                                self,
+                                node,
+                                f"importing {alias.name!r} from time in "
+                                f"distributed code: use "
+                                f"repro.telemetry.clock instead so the "
+                                f"clock stays injectable and fakeable "
+                                f"in tests",
+                            )
+                        )
+        return out

@@ -1,0 +1,183 @@
+"""``InstrumentedCommunicator``: every collective timed and sized.
+
+Wraps any communicator (by containment, like the sentinel) so that the
+rank program's communication is measured without touching a single call
+site:
+
+* each **collective** (``barrier``/``bcast``/``gather``/``allgather``/
+  ``allreduce``/``scatter``/``alltoall``) becomes a ``comm``-category
+  span plus ``comm.<op>.calls`` / ``comm.<op>.seconds`` counters and
+  byte counters for the payloads in and out;
+* **point-to-point** ``send``/``recv`` update byte/call counters only
+  (no spans -- p2p is the chatty substrate collectives decompose into,
+  and per-message spans would flood the ring on pipelined runs);
+* everything else (``free_received_buffers``, fault ``counters``, ...)
+  delegates through ``__getattr__`` so the full wrapper stack stays
+  visible.
+
+Composition order is **outermost**: the launcher builds
+``Instrumented(Checked(Faulty(base)))``, so the measured time includes
+sentinel fingerprint waits and injected fault delays -- which is the
+point: the trace shows what the run actually experienced.  Collectives
+are delegated to the *inner* object's implementations, so each user
+collective is measured exactly once even though the base class would
+decompose it into p2p calls.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.distributed.comm import Communicator
+
+__all__ = ["InstrumentedCommunicator", "payload_nbytes"]
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Approximate wire size of a message payload, in bytes.
+
+    Exact for the payloads the runtime actually exchanges (numpy arrays,
+    bytes, and lists/tuples of them); scalars count their machine width;
+    unknown objects count zero rather than paying a serialization to
+    find out.
+    """
+    if obj is None:
+        return 0
+    nbytes = getattr(obj, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (list, tuple)):
+        return sum(payload_nbytes(item) for item in obj)
+    if isinstance(obj, (int, float, bool)):
+        return 8
+    if isinstance(obj, str):
+        return len(obj)
+    return 0
+
+
+class InstrumentedCommunicator(Communicator):
+    """Measure every operation of the wrapped communicator.
+
+    ``telemetry`` is the rank's
+    :class:`~repro.telemetry.session.RankTelemetry`; rank programs reach
+    it through :func:`~repro.telemetry.session.telemetry_of`, which
+    resolves the ``telemetry`` attribute through any wrapper stack.
+    """
+
+    def __init__(self, inner: Communicator, telemetry) -> None:
+        self._inner = inner
+        self.telemetry = telemetry
+
+    @property
+    def rank(self) -> int:
+        return self._inner.rank
+
+    @property
+    def size(self) -> int:
+        return self._inner.size
+
+    @property
+    def inner(self) -> Communicator:
+        """The wrapped communicator."""
+        return self._inner
+
+    def __getattr__(self, name: str):
+        # Delegate backend/wrapper extras (free_received_buffers, fault
+        # counters, finish, ...) so instrumentation never hides surface.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._inner, name)
+
+    # ---- point-to-point: counters only ----------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        tel = self.telemetry
+        tel.add("comm.send.calls")
+        tel.add("comm.send.bytes", payload_nbytes(obj))
+        self._inner.send(obj, dest, tag)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        obj = self._inner.recv(source, tag)
+        tel = self.telemetry
+        tel.add("comm.recv.calls")
+        tel.add("comm.recv.bytes", payload_nbytes(obj))
+        return obj
+
+    # ---- collectives: span + counters, delegated to inner ---------------
+    def _timed(
+        self,
+        op: str,
+        call: Callable[[], Any],
+        bytes_out: int = 0,
+        size_in: Callable[[Any], int] | None = None,
+    ) -> Any:
+        tel = self.telemetry
+        clock = tel.clock
+        t0 = clock()
+        with tel.span(f"comm.{op}", cat="comm"):
+            result = call()
+        elapsed = clock() - t0
+        tel.add(f"comm.{op}.calls")
+        tel.observe(f"comm.{op}.seconds", elapsed)
+        tel.add(f"comm.{op}.seconds.total", elapsed)
+        if bytes_out:
+            tel.add(f"comm.{op}.bytes_out", bytes_out)
+        if size_in is not None:
+            bytes_in = size_in(result)
+            if bytes_in:
+                tel.add(f"comm.{op}.bytes_in", bytes_in)
+        return result
+
+    def barrier(self) -> None:
+        self._timed("barrier", self._inner.barrier)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        out = payload_nbytes(obj) if self.rank == root else 0
+        return self._timed(
+            "bcast",
+            lambda: self._inner.bcast(obj, root),
+            bytes_out=out,
+            size_in=payload_nbytes if self.rank != root else None,
+        )
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        return self._timed(
+            "gather",
+            lambda: self._inner.gather(obj, root),
+            bytes_out=payload_nbytes(obj) if self.rank != root else 0,
+            size_in=payload_nbytes if self.rank == root else None,
+        )
+
+    def allgather(self, obj: Any) -> list[Any]:
+        return self._timed(
+            "allgather",
+            lambda: self._inner.allgather(obj),
+            bytes_out=payload_nbytes(obj),
+            size_in=payload_nbytes,
+        )
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any]) -> Any:
+        return self._timed(
+            "allreduce",
+            lambda: self._inner.allreduce(obj, op),
+            bytes_out=payload_nbytes(obj),
+            size_in=payload_nbytes,
+        )
+
+    def scatter(self, objs: list[Any] | None, root: int = 0) -> Any:
+        out = payload_nbytes(objs) if self.rank == root else 0
+        return self._timed(
+            "scatter",
+            lambda: self._inner.scatter(objs, root),
+            bytes_out=out,
+            size_in=payload_nbytes if self.rank != root else None,
+        )
+
+    def alltoall(self, objs: list[Any]) -> list[Any]:
+        return self._timed(
+            "alltoall",
+            lambda: self._inner.alltoall(objs),
+            bytes_out=payload_nbytes(objs),
+            size_in=payload_nbytes,
+        )

@@ -505,3 +505,101 @@ class TestTimeoutLiteral:
             path="analytics/bfs.py",
         )
         assert fs == []
+
+
+class TestWallClock:
+    def test_time_time_call_flagged(self):
+        fs = findings_for(
+            """
+            import time
+
+            def f():
+                return time.time()
+            """,
+            select=["wall-clock"],
+        )
+        assert [f.rule for f in fs] == ["wall-clock"]
+        assert fs[0].severity == "warning"
+        assert "repro.telemetry.clock" in fs[0].message
+
+    @pytest.mark.parametrize(
+        "call",
+        ["time.perf_counter()", "time.monotonic()", "time.process_time()",
+         "time.perf_counter_ns()", "time.monotonic_ns()", "time.time_ns()"],
+    )
+    def test_every_clock_read_covered(self, call):
+        fs = findings_for(
+            f"""
+            import time
+
+            def f():
+                return {call}
+            """,
+            select=["wall-clock"],
+        )
+        assert [f.rule for f in fs] == ["wall-clock"]
+
+    def test_from_import_flagged(self):
+        fs = findings_for(
+            """
+            from time import monotonic
+
+            def f():
+                return monotonic()
+            """,
+            select=["wall-clock"],
+        )
+        assert [f.rule for f in fs] == ["wall-clock"]
+        assert "monotonic" in fs[0].message
+
+    def test_time_sleep_allowed(self):
+        fs = findings_for(
+            """
+            import time
+            from time import sleep
+
+            def f():
+                time.sleep(0.1)
+                sleep(0.1)
+            """,
+            select=["wall-clock"],
+        )
+        assert fs == []
+
+    def test_telemetry_clock_import_passes(self):
+        fs = findings_for(
+            """
+            from repro.telemetry.clock import monotonic, perf_clock
+
+            def f():
+                return monotonic() + perf_clock()
+            """,
+            select=["wall-clock"],
+        )
+        assert fs == []
+
+    def test_out_of_scope_dir_ignored(self):
+        fs = findings_for(
+            """
+            import time
+
+            def f():
+                return time.time()
+            """,
+            path="telemetry/clock.py",
+            select=["wall-clock"],
+        )
+        assert fs == []
+
+    def test_distributed_tree_is_clean(self):
+        # The runtime itself must satisfy its own rule.
+        from pathlib import Path
+
+        from repro.lint import lint_paths
+
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        found = [
+            f
+            for f in lint_paths([src / "distributed"], rules=all_rules(["wall-clock"]))
+        ]
+        assert found == []
