@@ -1,0 +1,91 @@
+"""CI perf gate: rerun the trajectory benchmark against the committed baseline.
+
+Re-measures the generation trajectory (median of ``--repeat`` runs, the
+stat least sensitive to a noisy CI neighbor) and compares the fused
+case's ``edges_per_s`` against the committed ``BENCH_generation.json``.
+Exits non-zero when the fused hot path regressed more than
+``--threshold`` (default 10%).
+
+The trajectory runs under the emulated interconnect
+(:mod:`repro.distributed.netsim`), so most of the kernel wall is
+deterministic wire time -- the committed number transfers across
+machines with only the compute share exposed to hardware variance.
+
+The async-pipeline ratios are printed (and checked against a loose
+floor) but only the fused regression fails the job: the async case's
+headline ratio is tracked by the committed baseline refresh, not per-CI
+variance.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py [--repeat 5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+import trajectory
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=str(REPO_ROOT / "BENCH_generation.json"),
+        help="committed baseline JSON (default: BENCH_generation.json)",
+    )
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="repetitions; the median run is compared")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="max fused edges_per_s regression (fraction)")
+    parser.add_argument("--async-floor", type=float, default=1.2,
+                        help="min async-vs-fused speedup to accept")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+
+    out = Path(tempfile.mkdtemp()) / "bench_current.json"
+    rc = trajectory.main(
+        ["--out", str(out), "--repeat", str(args.repeat), "--stat", "median"]
+    )
+    if rc:
+        return rc
+    with open(out, encoding="utf-8") as fh:
+        current = json.load(fh)
+
+    base_fused = baseline["cases"]["fused"]["edges_per_s"]
+    cur_fused = current["cases"]["fused"]["edges_per_s"]
+    change = cur_fused / base_fused - 1.0
+    async_speedup = current["speedup_async_vs_fused"]
+    bytes_reduction = current["bytes_reduction_async_vs_fused"]
+
+    print()
+    print(f"fused edges_per_s: baseline {base_fused / 1e6:.2f}M, "
+          f"current {cur_fused / 1e6:.2f}M ({change:+.1%})")
+    print(f"async vs fused:    {async_speedup:.2f}x "
+          f"(bytes reduced {bytes_reduction:.2f}x)")
+
+    failed = False
+    if change < -args.threshold:
+        print(f"FAIL: fused edges_per_s regressed {-change:.1%} "
+              f"(> {args.threshold:.0%} threshold)")
+        failed = True
+    if async_speedup < args.async_floor:
+        print(f"FAIL: async-vs-fused speedup {async_speedup:.2f}x below "
+              f"{args.async_floor:.2f}x floor")
+        failed = True
+    if not failed:
+        print("perf gate OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,17 +1,32 @@
 """Generation perf trajectory: one JSON snapshot per run_benchmarks.sh run.
 
-Runs the distributed generator end-to-end under a telemetry session --
-fused vs legacy routing on the same factor pair -- and writes
-``BENCH_generation.json`` (repo root by default) with the numbers the
-project tracks release over release:
+Runs the distributed generation kernel under a telemetry session --
+fused vs legacy routing plus the async double-buffered pipeline on the
+same factor pair -- and writes ``BENCH_generation.json`` (repo root by
+default) with the numbers the project tracks release over release:
 
-* ``edges_per_s``: product edges generated per wall-clock second;
-* ``bytes_shuffled``: total ``alltoall`` payload bytes across all ranks,
-  straight from the instrumented communicator's counters;
-* ``stage_seconds``: per-stage wall time summed over ranks (generate /
-  route / exchange spans), so a regression shows *which* stage moved;
-* ``speedup_fused_vs_legacy``: the headline ratio the fused hot path is
-  expected to keep above 1.0.
+* ``edges_per_s``: product edges generated per second of *kernel* wall
+  time -- each rank times barrier-to-barrier around its generation
+  kernel (standard MPI methodology), and the slowest rank defines the
+  run, so process spawn/teardown noise stays out of the trajectory;
+* ``bytes_shuffled``: total ``alltoall`` payload bytes across all
+  ranks, straight from the instrumented communicator's counters (for
+  the ``varint`` wire format this is the *encoded* byte count -- the
+  bytes that actually cross the wire);
+* ``overlap_s`` / ``overlap_frac``: how much exchange latency the async
+  pipeline hid behind generation, and what fraction of the total
+  exchange window that is;
+* ``speedup_fused_vs_legacy`` and ``speedup_async_vs_fused``: the two
+  headline ratios the hot path is expected to keep above 1.0.
+
+The kernel runs on the process backend under an **emulated
+interconnect** (:mod:`repro.distributed.netsim`): every message pays
+``latency + bytes/bandwidth`` of wire time, charged against its send
+timestamp so in-flight transfers genuinely overlap compute.  The
+in-memory backends pass buffers at memcpy speed, which hides the
+communication cost the paper's cluster deployment is bound by; the
+throttled wire restores that regime, and makes the trajectory stable
+across machines (wire time is deterministic, compute is not).
 
 Plain script, not a pytest-benchmark module: it needs the telemetry
 aggregation path (which pytest-benchmark's timer-only harness cannot
@@ -26,9 +41,16 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+from functools import partial
 from pathlib import Path
 
-from repro.distributed.generator import generate_distributed
+from repro.distributed.generator import (
+    generate_rank_1d,
+    generate_rank_1d_pipelined,
+)
+from repro.distributed.launcher import spmd_run
+from repro.distributed.netsim import NetworkModel, ThrottledCommunicator
+from repro.distributed.partition import partition_edges_1d
 from repro.graph.generators import erdos_renyi
 from repro.telemetry import TelemetrySession
 from repro.telemetry.clock import perf_clock, wall_clock
@@ -41,50 +63,129 @@ FACTOR_N = 40
 FACTOR_P = 0.25
 FACTOR_SEEDS = (1001, 1002)
 
+#: Emulated per-link interconnect (see module docstring): 2 MB/s
+#: sustained per link plus 100 us per message -- the per-rank share of a
+#: bisection-limited alltoall at cluster scale, sized so the fused
+#: baseline spends most of its kernel on the wire (the paper's
+#: communication-bound profile).  Wire time is deterministic sleeps, so
+#: the trajectory stays comparable across machines and CI runners.
+NETWORK = NetworkModel(bandwidth=2e6, latency=100e-6)
+
+#: The tracked configurations.  ``pipelined-async`` is the paper-style
+#: overlap pipeline: double-buffered generation with the varint wire
+#: format, so it moves fewer bytes *and* hides wire time behind compute.
+CASES = {
+    "fused": {"routing": "fused"},
+    "legacy": {"routing": "legacy"},
+    "pipelined-async": {
+        "scheme": "1d-pipelined",
+        "routing": "fused",
+        "pipeline": "async",
+        "wire": "varint",
+    },
+}
+
+
+def _timed_rank_1d(comm, parts_a, el_b, n_c, chunk_size, routing, wire):
+    """Barrier-bracketed kernel timing around the 1d batch generator."""
+    comm.barrier()
+    t0 = perf_clock()
+    out = generate_rank_1d(
+        comm, parts_a, el_b, n_c, "source_block", chunk_size, routing, wire
+    )
+    comm.barrier()
+    return perf_clock() - t0, len(out.edges)
+
+
+def _timed_rank_pipelined(
+    comm, parts_a, el_b, n_c, chunk_size, routing, pipeline, wire
+):
+    """Barrier-bracketed kernel timing around the pipelined generator."""
+    comm.barrier()
+    t0 = perf_clock()
+    out = generate_rank_1d_pipelined(
+        comm, parts_a, el_b, n_c, "source_block", chunk_size, routing,
+        pipeline, wire,
+    )
+    comm.barrier()
+    return perf_clock() - t0, len(out.edges)
+
 
 def run_case(
-    routing: str,
+    name: str,
     a,
     b,
     ranks: int,
     backend: str,
     chunk_size: int,
     repeat: int,
+    stat: str = "best",
+    *,
+    scheme: str = "1d",
+    routing: str = "fused",
+    pipeline: str = "sync",
+    wire: str = "raw",
 ) -> dict:
-    """Best-of-``repeat`` traced generation under one routing mode."""
-    best = None
+    """``stat``-of-``repeat`` traced kernel runs of one configuration."""
+    parts_a = partition_edges_1d(a, ranks)
+    n_c = a.n * b.n
+    wrap = partial(ThrottledCommunicator, model=NETWORK)
+    runs = []
     for _ in range(repeat):
         session = TelemetrySession()
-        t0 = perf_clock()
-        el, _ = generate_distributed(
-            a,
-            b,
-            ranks,
-            scheme="1d",
-            storage="source_block",
-            backend=backend,
-            routing=routing,
-            chunk_size=chunk_size,
-            telemetry=session,
-        )
-        wall_s = perf_clock() - t0
-        if best is not None and wall_s >= best["wall_s"]:
-            continue
+        if scheme == "1d-pipelined":
+            results = spmd_run(
+                _timed_rank_pipelined, ranks, parts_a, b, n_c, chunk_size,
+                routing, pipeline, wire,
+                backend=backend, wrap_comm=wrap, telemetry=session,
+            )
+        else:
+            results = spmd_run(
+                _timed_rank_1d, ranks, parts_a, b, n_c, chunk_size,
+                routing, wire,
+                backend=backend, wrap_comm=wrap, telemetry=session,
+            )
+        wall_s = max(w for w, _ in results)
+        edges = sum(m for _, m in results)
         counters = session.aggregated_metrics()["counters"]
-        best = {
+        overlap_s = float(counters.get("exchange.overlap_s", 0.0))
+        wait_s = float(counters.get("comm.wait.seconds.total", 0.0))
+        runs.append({
+            "case": name,
+            "scheme": scheme,
             "routing": routing,
-            "edges": int(el.m_directed),
+            "pipeline": pipeline,
+            "wire": wire,
+            "edges": edges,
             "wall_s": wall_s,
-            "edges_per_s": el.m_directed / wall_s,
+            "edges_per_s": edges / wall_s,
             "bytes_shuffled": int(counters.get("comm.alltoall.bytes_out", 0)),
-            "alltoall_calls": int(counters.get("comm.alltoall.calls", 0)),
+            "bytes_shuffled_raw": int(
+                counters.get(
+                    "exchange.bytes_raw",
+                    counters.get("comm.alltoall.bytes_out", 0),
+                )
+            ),
+            "alltoall_calls": int(
+                counters.get("comm.alltoall.calls", 0)
+                + counters.get("comm.alltoall_start.calls", 0)
+            ),
+            "overlap_s": overlap_s,
+            "overlap_frac": (
+                overlap_s / (overlap_s + wait_s)
+                if overlap_s + wait_s > 0
+                else 0.0
+            ),
             "stage_seconds": {
-                name: totals["seconds"]
-                for name, totals in sorted(session.span_totals().items())
-                if not name.startswith("comm.")
+                span: totals["seconds"]
+                for span, totals in sorted(session.span_totals().items())
+                if not span.startswith("comm.")
             },
-        }
-    return best
+        })
+    runs.sort(key=lambda r: r["wall_s"])
+    if stat == "median":
+        return runs[len(runs) // 2]
+    return runs[0]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -95,23 +196,28 @@ def main(argv: list[str] | None = None) -> int:
         help="output JSON path (default: BENCH_generation.json at repo root)",
     )
     parser.add_argument("--ranks", type=int, default=4)
-    parser.add_argument("--backend", default="thread",
+    parser.add_argument("--backend", default="process",
                         choices=("thread", "process"))
-    parser.add_argument("--chunk-size", type=int, default=1 << 15)
+    parser.add_argument("--chunk-size", type=int, default=1 << 14)
     parser.add_argument("--repeat", type=int, default=3,
-                        help="repetitions per case; best wall time kept")
+                        help="repetitions per case")
+    parser.add_argument("--stat", default="best", choices=("best", "median"),
+                        help="which repetition to keep (default: best; "
+                             "CI regression checks use median)")
     args = parser.parse_args(argv)
 
     a = erdos_renyi(FACTOR_N, FACTOR_P, seed=FACTOR_SEEDS[0])
     b = erdos_renyi(FACTOR_N, FACTOR_P, seed=FACTOR_SEEDS[1])
 
     cases = {
-        routing: run_case(
-            routing, a, b, args.ranks, args.backend, args.chunk_size,
-            args.repeat,
+        name: run_case(
+            name, a, b, args.ranks, args.backend, args.chunk_size,
+            args.repeat, args.stat, **params,
         )
-        for routing in ("fused", "legacy")
+        for name, params in CASES.items()
     }
+    fused = cases["fused"]
+    asyncp = cases["pipelined-async"]
     result = {
         "benchmark": "generation-trajectory",
         "timestamp_unix": wall_clock(),
@@ -121,16 +227,27 @@ def main(argv: list[str] | None = None) -> int:
             "factors": f"ER(n={FACTOR_N}, p={FACTOR_P}) x 2, "
                        f"seeds {FACTOR_SEEDS}",
             "factor_edges": [int(a.m_directed), int(b.m_directed)],
-            "scheme": "1d",
             "storage": "source_block",
             "ranks": args.ranks,
             "backend": args.backend,
             "chunk_size": args.chunk_size,
             "repeat": args.repeat,
+            "stat": args.stat,
+            "network": {
+                "bandwidth_bytes_per_s": NETWORK.bandwidth,
+                "latency_s": NETWORK.latency,
+            },
+            "timing": "kernel (barrier-to-barrier, slowest rank)",
         },
         "cases": cases,
         "speedup_fused_vs_legacy": (
-            cases["legacy"]["wall_s"] / cases["fused"]["wall_s"]
+            cases["legacy"]["wall_s"] / fused["wall_s"]
+        ),
+        "speedup_async_vs_fused": fused["wall_s"] / asyncp["wall_s"],
+        "bytes_reduction_async_vs_fused": (
+            fused["bytes_shuffled"] / asyncp["bytes_shuffled"]
+            if asyncp["bytes_shuffled"]
+            else 0.0
         ),
     }
     with open(args.out, "w", encoding="utf-8") as fh:
@@ -138,14 +255,21 @@ def main(argv: list[str] | None = None) -> int:
         fh.write("\n")
 
     print(f"generation trajectory written to {args.out}")
-    for routing, case in cases.items():
+    for name, case in cases.items():
+        extra = ""
+        if case["pipeline"] == "async":
+            extra = (f"  overlap {case['overlap_frac'] * 100:5.1f}%"
+                     f" ({case['overlap_s'] * 1e3:.2f} ms hidden)")
         print(
-            f"  {routing:<7} {case['edges']:>9} edges  "
+            f"  {name:<15} {case['edges']:>9} edges  "
             f"{case['edges_per_s'] / 1e6:7.2f} Medges/s  "
-            f"{case['bytes_shuffled'] / 1e6:7.2f} MB shuffled"
+            f"{case['bytes_shuffled'] / 1e6:7.2f} MB shuffled{extra}"
         )
-    print(f"  fused vs legacy speedup: "
+    print(f"  fused vs legacy speedup:  "
           f"{result['speedup_fused_vs_legacy']:.2f}x")
+    print(f"  async vs fused speedup:   "
+          f"{result['speedup_async_vs_fused']:.2f}x  "
+          f"(bytes reduced {result['bytes_reduction_async_vs_fused']:.2f}x)")
     return 0
 
 

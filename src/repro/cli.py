@@ -173,6 +173,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         plans=default_fault_matrix(seed=args.seed, nranks=args.ranks),
         backends=tuple(args.backends.split(",")),
         routings=tuple(args.routings.split(",")),
+        scheme=args.scheme,
+        pipeline=args.pipeline,
+        wire=args.wire,
         recv_timeout_s=args.timeout,
         max_attempts=args.max_attempts,
         checkpoint_root=args.checkpoint_root,
@@ -228,6 +231,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
             backend=args.backend,
             chunk_size=args.chunk_size,
             routing=args.routing,
+            pipeline=args.pipeline,
+            wire=args.wire,
             checkpoint_dir=checkpoint_dir,
             telemetry=session,
         )
@@ -253,6 +258,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
             "scheme": args.scheme,
             "storage": args.storage,
             "routing": args.routing,
+            "pipeline": args.pipeline,
+            "wire": args.wire,
             "backend": args.backend,
         },
         "expected_edges": expected,
@@ -277,6 +284,16 @@ def cmd_trace(args: argparse.Namespace) -> int:
           f"stored {stored}, expected |E(A(x)B)| {expected} -- {status}")
     alltoall = int(counters.get("comm.alltoall.bytes_out", 0))
     print(f"bytes shuffled (alltoall, all ranks): {alltoall}")
+    wire_bytes = int(counters.get("exchange.bytes_wire", 0))
+    if wire_bytes:
+        raw_bytes = int(counters.get("exchange.bytes_raw", 0))
+        ratio = raw_bytes / wire_bytes if wire_bytes else 0.0
+        print(f"wire format {args.wire}: {raw_bytes} raw -> "
+              f"{wire_bytes} encoded bytes ({ratio:.2f}x)")
+    overlap = counters.get("exchange.overlap_s", 0.0)
+    if args.pipeline == "async":
+        print(f"exchange overlap (generation hiding in-flight exchange, "
+              f"all ranks): {overlap:.4f}s")
     return 0 if exact else 1
 
 
@@ -359,6 +376,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated launcher backends to exercise")
     c.add_argument("--routings", default="fused,legacy",
                    help="comma-separated routing modes to rotate through")
+    c.add_argument("--scheme", choices=("1d", "1d-pipelined", "2d"),
+                   default="1d", help="generation scheme under test")
+    c.add_argument("--pipeline", choices=("sync", "async"), default="sync",
+                   help="exchange pipeline (async needs --scheme "
+                        "1d-pipelined)")
+    c.add_argument("--wire", choices=("raw", "varint"), default="raw",
+                   help="edge wire format for every exchange")
     c.add_argument("--timeout", type=float, default=2.0,
                    help="recv timeout (s) pinned for the run; bounds how "
                         "long a dropped message stalls before retry")
@@ -393,6 +417,11 @@ def build_parser() -> argparse.ArgumentParser:
                     default="source_block")
     tr.add_argument("--routing", choices=("fused", "legacy"),
                     default="fused")
+    tr.add_argument("--pipeline", choices=("sync", "async"), default="sync",
+                    help="exchange pipeline (async needs --scheme "
+                         "1d-pipelined)")
+    tr.add_argument("--wire", choices=("raw", "varint"), default="raw",
+                    help="edge wire format for every exchange")
     tr.add_argument("--backend", choices=("inline", "thread", "process"),
                     default="thread")
     tr.add_argument("--chunk-size", type=int, default=1 << 20)

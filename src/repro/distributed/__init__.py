@@ -1,8 +1,12 @@
 """Distributed generation runtime: communicators, partitioning, generators, cost model."""
 
 from repro.distributed.comm import (
+    AlltoallRequest,
+    CompletedRequest,
     Communicator,
     InlineCommunicator,
+    RecvRequest,
+    Request,
     ThreadCommunicator,
     make_thread_world,
     poll_interval,
@@ -31,10 +35,20 @@ from repro.distributed.partition import (
     owners_by_vertex_block,
     owners_by_edge_hash,
 )
-from repro.distributed.shuffle import bucket_edges, exchange_edges, shuffle_to_owners
+from repro.distributed.shuffle import (
+    WIRE_FORMATS,
+    bucket_edges,
+    exchange_edges,
+    exchange_edges_finish,
+    exchange_edges_start,
+    shuffle_to_owners,
+)
+from repro.distributed.wire import decode_edges, encode_edges, is_wire_block
+from repro.distributed.netsim import NetworkModel, ThrottledCommunicator
 from repro.distributed.generator import (
     RankOutput,
     generate_rank_1d,
+    generate_rank_1d_pipelined,
     generate_rank_2d,
     generate_distributed,
 )
@@ -61,6 +75,10 @@ from repro.distributed.costmodel import (
 
 __all__ = [
     "Communicator",
+    "Request",
+    "CompletedRequest",
+    "RecvRequest",
+    "AlltoallRequest",
     "InlineCommunicator",
     "ThreadCommunicator",
     "make_thread_world",
@@ -88,9 +106,18 @@ __all__ = [
     "owners_by_edge_hash",
     "bucket_edges",
     "exchange_edges",
+    "exchange_edges_start",
+    "exchange_edges_finish",
     "shuffle_to_owners",
+    "WIRE_FORMATS",
+    "encode_edges",
+    "decode_edges",
+    "is_wire_block",
+    "NetworkModel",
+    "ThrottledCommunicator",
     "RankOutput",
     "generate_rank_1d",
+    "generate_rank_1d_pipelined",
     "generate_rank_2d",
     "generate_distributed",
     "ShardManifest",

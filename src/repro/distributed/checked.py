@@ -42,7 +42,7 @@ import sys
 import threading
 from typing import Any, Callable
 
-from repro.distributed.comm import Communicator
+from repro.distributed.comm import Communicator, Request
 from repro.errors import CollectiveOrderError
 
 __all__ = [
@@ -195,6 +195,12 @@ class CheckedCommunicator(Communicator):
     def recv(self, source: int, tag: int = 0) -> Any:
         return self._inner.recv(source, tag)
 
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        return self._inner.isend(obj, dest, tag)
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        return self._inner.irecv(source, tag)
+
     # ---- sentinel core ---------------------------------------------------
     def finish(self) -> None:
         """Announce this rank's program completed (launcher calls this)."""
@@ -268,3 +274,16 @@ class CheckedCommunicator(Communicator):
     def alltoall(self, objs: list[Any]) -> list[Any]:
         self._enter("alltoall")
         return self._inner.alltoall(objs)
+
+    def alltoall_start(self, objs: list[Any]) -> Request:
+        # The *start* is the symmetric event every rank must reach in the
+        # same order -- fingerprint it.  The wait is rank-local (ranks may
+        # overlap different amounts of compute before finishing), so
+        # ``alltoall_finish`` is deliberately unfingerprinted; without
+        # explicit methods here ``__getattr__`` would route both past the
+        # sentinel entirely.
+        self._enter("alltoall_start")
+        return self._inner.alltoall_start(objs)
+
+    def alltoall_finish(self, request: Request) -> list[Any]:
+        return self._inner.alltoall_finish(request)

@@ -33,6 +33,10 @@ from repro.errors import CommunicatorError
 
 __all__ = [
     "Communicator",
+    "Request",
+    "CompletedRequest",
+    "RecvRequest",
+    "AlltoallRequest",
     "InlineCommunicator",
     "ThreadCommunicator",
     "make_thread_world",
@@ -84,6 +88,120 @@ def poll_interval() -> float:
     return min(_POLL_MAX, max(_POLL_MIN, recv_timeout() / _POLLS_PER_TIMEOUT))
 
 
+class Request(ABC):
+    """Handle for an in-flight nonblocking operation (MPI ``Request``).
+
+    ``wait()`` blocks until the operation completes and returns its
+    result (``None`` for sends, the received object for ``irecv``, the
+    received list for ``alltoall_start``).  Waiting a completed request
+    again returns the cached result -- MPI semantics, and what makes the
+    split-phase API forgiving to drive from wrappers.
+
+    ``test()`` is a non-blocking completion poll: it returns ``True``
+    once the operation has completed, *completing it* if every pending
+    message is already deliverable (so a ``True`` means a subsequent
+    ``wait()`` will not block).  Backends without a ``probe`` method
+    make ``test()`` conservatively return ``False`` until ``wait()``.
+
+    Completion contract
+    -------------------
+    The buffer passed to ``isend``/``alltoall_start`` is **owned by the
+    runtime until the request completes**: mutating it before ``wait()``
+    races the (possibly zero-copy) delivery.  ``repro.lint``'s
+    ``inflight-buffer`` rule flags such mutations statically.  Requests
+    on the same ``(peer, tag)`` channel must be waited in issue order;
+    the generator keeps at most one exchange in flight, which trivially
+    satisfies this.
+    """
+
+    @abstractmethod
+    def wait(self) -> Any:
+        """Block until complete; return the operation's result."""
+
+    @abstractmethod
+    def test(self) -> bool:
+        """Non-blockingly poll for completion (may complete the op)."""
+
+
+class CompletedRequest(Request):
+    """An already-complete request (e.g. a locally-buffered send)."""
+
+    def __init__(self, value: Any = None) -> None:
+        self._value = value
+
+    def wait(self) -> Any:
+        return self._value
+
+    def test(self) -> bool:
+        return True
+
+
+class RecvRequest(Request):
+    """Deferred receive: completes on ``wait()`` (or ``test()`` when the
+    backend can probe and the message has already arrived)."""
+
+    def __init__(self, comm: "Communicator", source: int, tag: int) -> None:
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._done = False
+        self._value: Any = None
+
+    def wait(self) -> Any:
+        if not self._done:
+            self._value = self._comm.recv(self._source, self._tag)
+            self._done = True
+        return self._value
+
+    def test(self) -> bool:
+        if self._done:
+            return True
+        probe = getattr(self._comm, "probe", None)
+        if probe is not None and probe(self._source, self._tag):
+            self.wait()
+        return self._done
+
+
+class AlltoallRequest(Request):
+    """In-flight personalized exchange: sends issued, receives deferred.
+
+    ``wait()`` drains the remaining peers (source-rank order) and
+    returns the list indexed by source rank, under the same
+    buffer-ownership contract as :meth:`Communicator.alltoall`.
+    """
+
+    def __init__(
+        self,
+        comm: "Communicator",
+        out: list[Any],
+        pending: list[int],
+        tag: int,
+    ) -> None:
+        self._comm = comm
+        self._out = out
+        self._pending = list(pending)
+        self._tag = tag
+        self._done = not self._pending
+
+    def wait(self) -> list[Any]:
+        if not self._done:
+            for r in self._pending:
+                self._out[r] = self._comm.recv(r, self._tag)
+            self._pending = []
+            self._done = True
+        return self._out
+
+    def test(self) -> bool:
+        if self._done:
+            return True
+        probe = getattr(self._comm, "probe", None)
+        if probe is not None and all(
+            probe(r, self._tag) for r in self._pending
+        ):
+            self.wait()
+        return self._done
+
+
 class Communicator(ABC):
     """Abstract SPMD communicator: one instance per rank."""
 
@@ -105,6 +223,23 @@ class Communicator(ABC):
     @abstractmethod
     def recv(self, source: int, tag: int = 0) -> Any:
         """Blocking receive of the next message from ``source`` with ``tag``."""
+
+    # ---- nonblocking point-to-point --------------------------------------
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send; the returned request completes on delivery.
+
+        The in-process backends buffer sends, so the default issues the
+        send immediately and returns a :class:`CompletedRequest` -- but
+        callers must still honor the ownership contract (no mutation of
+        ``obj`` before ``wait()``) so the same code is correct on a
+        backend with genuinely deferred sends.
+        """
+        self.send(obj, dest, tag)
+        return CompletedRequest(None)
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Nonblocking receive; ``wait()`` returns the message."""
+        return RecvRequest(self, source, tag)
 
     # ---- collectives -----------------------------------------------------
     @abstractmethod
@@ -200,6 +335,37 @@ class Communicator(ABC):
                 out[r] = self.recv(r, tag=-4)
         return out
 
+    def alltoall_start(self, objs: list[Any]) -> Request:
+        """Split-phase alltoall: issue all sends now, defer the receives.
+
+        Returns a :class:`Request` whose ``wait()`` (equivalently
+        :meth:`alltoall_finish`) yields the same list
+        :meth:`alltoall` would.  Between start and finish the caller may
+        compute -- that overlap is the entire point -- but must not
+        mutate any entry of ``objs`` (see :class:`Request`), and must
+        not start a second exchange on the same communicator until the
+        first finishes (one in-flight phase per channel).
+
+        Uses its own tag (``-5``) so a split-phase exchange can never
+        cross wires with a blocking :meth:`alltoall`.
+        """
+        if len(objs) != self.size:
+            raise CommunicatorError(
+                f"alltoall_start needs exactly {self.size} objects, "
+                f"got {len(objs)}"
+            )
+        out: list[Any] = [None] * self.size
+        out[self.rank] = objs[self.rank]
+        for r in range(self.size):
+            if r != self.rank:
+                self.send(objs[r], r, tag=-5)
+        pending = [r for r in range(self.size) if r != self.rank]
+        return AlltoallRequest(self, out, pending, tag=-5)
+
+    def alltoall_finish(self, request: Request) -> list[Any]:
+        """Complete a split-phase exchange started by :meth:`alltoall_start`."""
+        return request.wait()
+
 
 class InlineCommunicator(Communicator):
     """The single-rank world: all operations are local no-ops."""
@@ -276,6 +442,19 @@ class ThreadCommunicator(Communicator):
                 f"sent or died -- run under REPRO_CHECK_COLLECTIVES=1 to "
                 f"diagnose collective-order divergence"
             ) from exc
+
+    def probe(self, source: int, tag: int = 0) -> bool:
+        """True if a message from ``source`` with ``tag`` is deliverable.
+
+        Optional backend surface (deliberately *not* on the ABC, so the
+        wrapper stack's ``__getattr__`` delegation reaches the backend's
+        implementation): :meth:`Request.test` uses it to complete a
+        deferred receive without blocking.
+        """
+        self._check_dest(source)
+        if source == self._rank:
+            raise CommunicatorError("probe from self is not supported")
+        return not self._world.box(self._rank, source, tag).empty()
 
     def barrier(self) -> None:
         timeout = recv_timeout()

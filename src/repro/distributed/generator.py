@@ -44,7 +44,14 @@ import numpy as np
 from repro.distributed.comm import Communicator
 from repro.distributed.launcher import spmd_run
 from repro.distributed.partition import partition_edges_1d, partition_edges_2d
-from repro.distributed.shuffle import exchange_edges, shuffle_to_owners
+from repro.distributed.shuffle import (
+    WIRE_FORMATS,
+    bucket_edges,
+    exchange_edges,
+    exchange_edges_finish,
+    exchange_edges_start,
+    shuffle_to_owners,
+)
 from repro.errors import PartitionError
 from repro.graph.edgelist import EdgeList
 from repro.kronecker.product import (
@@ -65,6 +72,7 @@ __all__ = [
 ]
 
 _ROUTINGS = ("fused", "legacy")
+_PIPELINES = ("sync", "async")
 _EMPTY = np.empty((0, 2), dtype=np.int64)
 
 
@@ -92,6 +100,20 @@ def _check_routing(routing: str) -> None:
     if routing not in _ROUTINGS:
         raise PartitionError(
             f"unknown routing {routing!r}; use 'fused' or 'legacy'"
+        )
+
+
+def _check_pipeline(pipeline: str) -> None:
+    if pipeline not in _PIPELINES:
+        raise PartitionError(
+            f"unknown pipeline {pipeline!r}; use 'sync' or 'async'"
+        )
+
+
+def _check_wire(wire: str) -> None:
+    if wire not in WIRE_FORMATS:
+        raise PartitionError(
+            f"unknown wire format {wire!r}; use one of {WIRE_FORMATS}"
         )
 
 
@@ -158,9 +180,11 @@ def _route_and_store(
     storage: str | None,
     chunk_size: int,
     routing: str,
+    wire: str = "raw",
 ) -> RankOutput:
     """Shared body of the batch (non-pipelined) rank programs."""
     _check_routing(routing)
+    _check_wire(wire)
     tel = telemetry_of(comm)
     if storage is None or comm.size == 1:
         with tel.span("generate", cat="phase", routing=routing):
@@ -172,13 +196,13 @@ def _route_and_store(
         outgoing, generated = _generate_cells_routed(
             cells, comm.size, n_c, chunk_size, tel
         )
-        edges = exchange_edges(comm, outgoing)
+        edges = exchange_edges(comm, outgoing, wire=wire)
     else:
         with tel.span("generate", cat="phase", routing=routing):
             edges, generated = _generate_cells(cells, chunk_size)
         method = "scatter" if routing == "fused" else "argsort"
         edges = shuffle_to_owners(
-            comm, edges, scheme=storage, n=n_c, method=method
+            comm, edges, scheme=storage, n=n_c, method=method, wire=wire
         )
     tel.add("edges.generated", generated)
     tel.add("edges.stored", len(edges))
@@ -193,6 +217,7 @@ def generate_rank_1d(
     storage: str | None,
     chunk_size: int = DEFAULT_CHUNK,
     routing: str = "fused",
+    wire: str = "raw",
 ) -> RankOutput:
     """Rank program for the 1-D scheme: ``C_r = A_r (x) B``.
 
@@ -204,7 +229,7 @@ def generate_rank_1d(
     """
     part = parts_a[comm.rank]
     return _route_and_store(
-        comm, [(part, el_b)], n_c, storage, chunk_size, routing
+        comm, [(part, el_b)], n_c, storage, chunk_size, routing, wire
     )
 
 
@@ -215,10 +240,11 @@ def generate_rank_2d(
     storage: str | None,
     chunk_size: int = DEFAULT_CHUNK,
     routing: str = "fused",
+    wire: str = "raw",
 ) -> RankOutput:
     """Rank program for Remark 1's 2-D scheme: ``A_{r % Rh} (x) B_{r // Rh}``."""
     return _route_and_store(
-        comm, assignments[comm.rank], n_c, storage, chunk_size, routing
+        comm, assignments[comm.rank], n_c, storage, chunk_size, routing, wire
     )
 
 
@@ -232,6 +258,8 @@ def generate_distributed(
     backend: str = "thread",
     chunk_size: int = DEFAULT_CHUNK,
     routing: str = "fused",
+    pipeline: str = "sync",
+    wire: str = "raw",
     runner=spmd_run,
     telemetry=None,
 ) -> tuple[EdgeList, list[RankOutput]]:
@@ -256,6 +284,16 @@ def generate_distributed(
     routing:
         ``"fused"`` (generate pre-bucketed, sort-free -- the default) or
         ``"legacy"`` (expand, argsort-bucket, exchange) for A/B comparison.
+    pipeline:
+        ``"sync"`` (each round's exchange completes before the next chunk
+        is generated -- the default) or ``"async"`` (double-buffered: the
+        exchange of chunk ``k`` is in flight while chunk ``k+1`` is
+        generated).  ``"async"`` requires ``scheme="1d-pipelined"`` -- the
+        batch schemes have a single exchange with nothing to overlap.
+    wire:
+        ``"raw"`` (int64 blocks as-is) or ``"varint"`` (delta-sorted
+        varint compression of every exchanged block -- see
+        :mod:`repro.distributed.wire`).
     runner:
         The launch function, ``spmd_run``-compatible.  The supervised
         launcher (:func:`repro.distributed.supervisor.spmd_run_supervised`)
@@ -274,6 +312,14 @@ def generate_distributed(
         product; contents are identical as multisets) and per-rank outputs.
     """
     _check_routing(routing)
+    _check_pipeline(pipeline)
+    _check_wire(wire)
+    if pipeline == "async" and scheme != "1d-pipelined":
+        raise PartitionError(
+            f"pipeline='async' requires scheme='1d-pipelined' (scheme "
+            f"{scheme!r} performs a single batch exchange with nothing to "
+            f"overlap)"
+        )
     n_c = el_a.n * el_b.n
     run_kwargs = {"backend": backend}
     if telemetry is not None:
@@ -291,6 +337,8 @@ def generate_distributed(
             storage,
             chunk_size,
             routing,
+            pipeline,
+            wire,
             **run_kwargs,
         )
     elif scheme == "1d":
@@ -304,6 +352,7 @@ def generate_distributed(
             storage,
             chunk_size,
             routing,
+            wire,
             **run_kwargs,
         )
     elif scheme == "2d":
@@ -316,6 +365,7 @@ def generate_distributed(
             storage,
             chunk_size,
             routing,
+            wire,
             **run_kwargs,
         )
     else:
@@ -347,6 +397,8 @@ def generate_rank_1d_pipelined(
     storage: str,
     chunk_size: int = DEFAULT_CHUNK,
     routing: str = "fused",
+    pipeline: str = "sync",
+    wire: str = "raw",
 ) -> RankOutput:
     """1-D rank program with per-chunk routing (pipelined sends).
 
@@ -365,8 +417,25 @@ def generate_rank_1d_pipelined(
     All ranks must agree on the number of exchange rounds; the round count
     is fixed up front by an allreduce over per-rank chunk counts, with
     ranks that exhaust their chunks early participating with empty blocks.
+
+    ``pipeline="async"`` turns the loop into a double-buffered
+    producer/consumer: round ``k``'s exchange is issued split-phase
+    (:func:`exchange_edges_start`) and completed only *after* round
+    ``k+1``'s chunk has been generated and bucketed, so generation
+    overlaps the in-flight exchange -- the paper's overlap of generation
+    with asynchronous edge sends.  At most one exchange is in flight and
+    at most two chunks are resident (the in-flight buckets plus the chunk
+    being generated), preserving the bounded-memory guarantee.  The
+    stored output is bit-identical to ``pipeline="sync"`` with the same
+    ``wire``: the same per-round blocks arrive in the same order.
+    ``wire="varint"`` additionally compresses every exchanged bucket
+    (:mod:`repro.distributed.wire`).  Time spent generating while an
+    exchange was in flight accumulates into the ``exchange.overlap_s``
+    counter.
     """
     _check_routing(routing)
+    _check_pipeline(pipeline)
+    _check_wire(wire)
     tel = telemetry_of(comm)
     part = parts_a[comm.rank]
     mb = el_b.m_directed
@@ -386,28 +455,62 @@ def generate_rank_1d_pipelined(
     method = "scatter" if routing == "fused" else "argsort"
     stored: list[np.ndarray] = []
     generated = 0
-    for _round in range(all_rounds):
+
+    def next_outgoing(_round: int) -> list[np.ndarray]:
+        """Generate and bucket one round's chunk (the producer step)."""
+        nonlocal generated
         with tel.span("generate", cat="phase", round=_round):
             block = next(chunks, None)
         if fused_routed:
             outgoing = empty_buckets if block is None else block
             generated += sum(len(b) for b in outgoing)
-            if comm.size > 1:
-                received = exchange_edges(comm, outgoing)
-            else:
-                received = outgoing[0]
-        else:
-            if block is None:
-                block = _EMPTY
-            generated += len(block)
-            if comm.size > 1:
-                received = shuffle_to_owners(
-                    comm, block, scheme=storage, n=n_c, method=method
-                )
-            else:
-                received = block
-        if len(received):
-            stored.append(np.asarray(received))
+            return outgoing
+        if block is None:
+            block = _EMPTY
+        generated += len(block)
+        with tel.span("route", cat="phase", method=method):
+            return bucket_edges(
+                block, comm.size, scheme=storage, n=n_c, method=method
+            )
+
+    if comm.size == 1:
+        for _round in range(all_rounds):
+            received = next_outgoing(_round)[0]
+            if len(received):
+                stored.append(np.asarray(received))
+    elif pipeline == "sync":
+        for _round in range(all_rounds):
+            outgoing = next_outgoing(_round)
+            received = exchange_edges(comm, outgoing, wire=wire)
+            if len(received):
+                stored.append(received)
+    else:
+        # Double-buffered: finish round k's exchange only after round
+        # k+1's chunk exists.  One request in flight keeps the per-channel
+        # FIFO contract trivially satisfied; the in-flight buckets are
+        # owned by the runtime until finished (Request contract), which
+        # holds here because next_outgoing builds fresh arrays each round.
+        pending = None
+        issued_at = 0.0
+        overlap_s = 0.0
+        for _round in range(all_rounds):
+            outgoing = next_outgoing(_round)
+            if pending is not None:
+                # Everything since the issue was generation that hid the
+                # in-flight exchange.
+                overlap_s += tel.clock() - issued_at
+                received = exchange_edges_finish(comm, pending)
+                if len(received):
+                    stored.append(received)
+            pending = exchange_edges_start(comm, outgoing, wire=wire)
+            issued_at = tel.clock()
+        if pending is not None:
+            # Tail flush: no generation left to hide this wait, so it
+            # does not count toward the overlap.
+            received = exchange_edges_finish(comm, pending)
+            if len(received):
+                stored.append(received)
+        tel.add("exchange.overlap_s", overlap_s)
     # a rank may still hold residual chunks if per-rank chunk counts were
     # underestimated (cannot happen with the shared formula, but guard):
     for _block in chunks:  # pragma: no cover - defensive

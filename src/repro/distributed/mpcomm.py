@@ -219,6 +219,31 @@ class ProcessCommunicator(Communicator):
                 return obj
             self._stash.setdefault((source, got_tag), []).append(obj)
 
+    def probe(self, source: int, tag: int = 0) -> bool:
+        """True if a message from ``source`` with ``tag`` is deliverable.
+
+        Drains whatever is already sitting on the incoming queue into the
+        tag stash (unwrapping zero-copy descriptors as ``recv`` would) so
+        the answer accounts for messages queued under other tags; never
+        blocks.  Optional backend surface -- see
+        :meth:`ThreadCommunicator.probe`.
+        """
+        self._check_dest(source)
+        if source == self._rank:
+            raise CommunicatorError("probe from self is not supported")
+        if self._stash.get((source, tag)):
+            return True
+        q = self._pipes[source][self._rank]
+        while True:
+            try:
+                got_tag, obj = q.get_nowait()
+            except Exception:  # queue.Empty re-exported differently
+                return False
+            obj = self._shm_unwrap(obj)
+            self._stash.setdefault((source, got_tag), []).append(obj)
+            if got_tag == tag:
+                return True
+
     def barrier(self) -> None:
         """Dissemination barrier over point-to-point messages.
 

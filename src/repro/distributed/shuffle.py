@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.distributed.comm import Communicator
+from repro.distributed.comm import Communicator, Request
 from repro.distributed.partition import owners_by_edge_hash, owners_by_vertex_block
+from repro.distributed.wire import decode_edges, encode_edges, is_wire_block
 from repro.errors import CommunicatorError
 from repro.telemetry.session import telemetry_of
 
@@ -32,8 +33,23 @@ __all__ = [
     "counting_scatter",
     "bucket_edges",
     "exchange_edges",
+    "exchange_edges_start",
+    "exchange_edges_finish",
     "shuffle_to_owners",
+    "WIRE_FORMATS",
 ]
+
+#: Valid values of the ``wire`` knob: ``"raw"`` ships int64 blocks as-is,
+#: ``"varint"`` delta-sorts and varint-encodes them (see
+#: :mod:`repro.distributed.wire`).
+WIRE_FORMATS = ("raw", "varint")
+
+
+def _check_wire(wire: str) -> None:
+    if wire not in WIRE_FORMATS:
+        raise ValueError(
+            f"unknown wire format {wire!r}; expected one of {WIRE_FORMATS}"
+        )
 
 
 def _owner_sort_dtype(nparts: int) -> np.dtype:
@@ -142,16 +158,22 @@ def bucket_edges(
 def _as_edge_block(blk: np.ndarray | None) -> np.ndarray | None:
     """Normalize one received bucket; ``None``/empty become ``None``.
 
-    A received payload that cannot be an edge block (odd element count,
-    non-numeric dtype) means a corrupted or misrouted message; raise a
-    diagnostic naming the problem instead of letting ``reshape`` throw a
-    bare ``ValueError`` deep in the exchange.
+    Wire-encoded payloads (:func:`repro.distributed.wire.encode_edges`)
+    are decoded first -- their uint8 streams may have odd length, so the
+    magic check must precede the generic shape validation.  A payload
+    that is neither a wire block nor interpretable as ``(m, 2)`` integer
+    edges (odd element count, non-numeric dtype) means a corrupted or
+    misrouted message; raise a diagnostic naming the problem instead of
+    letting ``reshape`` throw a bare ``ValueError`` deep in the exchange.
     """
     if blk is None:
         return None
     blk = np.asarray(blk)
     if blk.size == 0:
         return None
+    if is_wire_block(blk):
+        decoded = decode_edges(blk)
+        return decoded if decoded.size else None
     if blk.dtype.kind not in "biu" or blk.size % 2:
         raise CommunicatorError(
             f"received edge block with dtype {blk.dtype} and shape "
@@ -161,8 +183,38 @@ def _as_edge_block(blk: np.ndarray | None) -> np.ndarray | None:
     return blk.reshape(-1, 2)
 
 
+def _encode_outgoing(
+    outgoing: list[np.ndarray], wire: str, tel
+) -> list[np.ndarray]:
+    """Apply the wire format to per-destination buckets (counting bytes)."""
+    if wire == "raw":
+        return outgoing
+    raw_bytes = 0
+    encoded: list[np.ndarray | None] = []
+    for blk in outgoing:
+        if blk is None or np.asarray(blk).size == 0:
+            encoded.append(None)
+            continue
+        blk = np.asarray(blk, dtype=np.int64).reshape(-1, 2)
+        raw_bytes += blk.nbytes
+        encoded.append(encode_edges(blk))
+    tel.add("exchange.bytes_raw", raw_bytes)
+    tel.add(
+        "exchange.bytes_wire",
+        sum(e.nbytes for e in encoded if e is not None),
+    )
+    return encoded
+
+
+def _stack_received(incoming: list) -> np.ndarray:
+    blocks = [b for b in map(_as_edge_block, incoming) if b is not None]
+    if not blocks:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.vstack(blocks)
+
+
 def exchange_edges(
-    comm: Communicator, outgoing: list[np.ndarray]
+    comm: Communicator, outgoing: list[np.ndarray], *, wire: str = "raw"
 ) -> np.ndarray:
     """All-to-all exchange of per-destination edge buckets.
 
@@ -173,16 +225,54 @@ def exchange_edges(
     zero-copy process backend may return read-only shared views -- see
     :meth:`Communicator.alltoall`); the returned stack is a fresh array this
     rank owns.
+
+    ``wire="varint"`` compresses each bucket before the collective and
+    decodes on receipt (:mod:`repro.distributed.wire`); the received
+    *multiset* of edges is identical, but rows arrive sorted per block.
     """
+    _check_wire(wire)
     tel = telemetry_of(comm)
     with tel.span("exchange", cat="phase"):
         tel.add("edges.routed", sum(len(b) for b in outgoing if b is not None))
-        incoming = comm.alltoall(outgoing)
-        blocks = [b for b in map(_as_edge_block, incoming) if b is not None]
-        if not blocks:
-            received = np.empty((0, 2), dtype=np.int64)
-        else:
-            received = np.vstack(blocks)
+        payload = _encode_outgoing(outgoing, wire, tel)
+        incoming = comm.alltoall(payload)
+        received = _stack_received(incoming)
+    tel.add("edges.received", len(received))
+    return received
+
+
+def exchange_edges_start(
+    comm: Communicator, outgoing: list[np.ndarray], *, wire: str = "raw"
+) -> Request:
+    """Issue the split-phase half of :func:`exchange_edges`.
+
+    Buckets are (optionally) wire-encoded and the exchange is started via
+    :meth:`Communicator.alltoall_start`; the returned request is fed to
+    :func:`exchange_edges_finish`.  Between the two calls the caller owns
+    neither the outgoing buckets (in-flight, see
+    :class:`~repro.distributed.comm.Request`) nor any received data yet --
+    it should generate the *next* chunk, which is the entire point.
+    """
+    _check_wire(wire)
+    tel = telemetry_of(comm)
+    with tel.span("exchange.issue", cat="phase"):
+        tel.add("edges.routed", sum(len(b) for b in outgoing if b is not None))
+        payload = _encode_outgoing(outgoing, wire, tel)
+        return comm.alltoall_start(payload)
+
+
+def exchange_edges_finish(comm: Communicator, request: Request) -> np.ndarray:
+    """Complete a split-phase exchange; returns the stacked received edges.
+
+    Emits the same ``exchange`` span and ``edges.received`` counter as the
+    blocking :func:`exchange_edges`, so phase-level trace consumers see a
+    single exchange regardless of pipeline mode (the span now covers only
+    the wait + decode, with issue time under ``exchange.issue``).
+    """
+    tel = telemetry_of(comm)
+    with tel.span("exchange", cat="phase"):
+        incoming = comm.alltoall_finish(request)
+        received = _stack_received(incoming)
     tel.add("edges.received", len(received))
     return received
 
@@ -195,10 +285,11 @@ def shuffle_to_owners(
     n: int | None = None,
     seed: int = 0,
     method: str = "scatter",
+    wire: str = "raw",
 ) -> np.ndarray:
     """Bucket locally generated edges and exchange them in one collective."""
     with telemetry_of(comm).span("route", cat="phase", method=method):
         outgoing = bucket_edges(
             edges, comm.size, scheme=scheme, n=n, seed=seed, method=method
         )
-    return exchange_edges(comm, outgoing)
+    return exchange_edges(comm, outgoing, wire=wire)

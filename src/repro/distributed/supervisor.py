@@ -281,16 +281,24 @@ def generation_run_key(
     storage: str | None,
     routing: str,
     chunk_size: int,
+    *,
+    pipeline: str = "sync",
+    wire: str = "raw",
 ) -> str:
     """Content-addressed signature of one generation configuration.
 
     Folds the factor edge digests and every parameter that affects shard
     contents or row order, so a resumed run can never consume checkpoints
-    written under a different configuration.
+    written under a different configuration.  ``wire`` matters because the
+    varint codec re-sorts each exchanged block (shard row order changes);
+    ``pipeline`` is included for symmetry even though sync and async are
+    bit-identical -- run keys identify configurations, not equivalence
+    classes.
     """
     return (
         f"gen-{edges_digest(el_a.edges):016x}-{edges_digest(el_b.edges):016x}"
         f"-r{nranks}-{scheme}-{storage}-{routing}-c{chunk_size}"
+        f"-{pipeline}-{wire}"
     )
 
 
@@ -304,6 +312,8 @@ def generate_distributed_supervised(
     backend: str = "thread",
     chunk_size: int = DEFAULT_CHUNK,
     routing: str = "fused",
+    pipeline: str = "sync",
+    wire: str = "raw",
     fault_plan: FaultPlan | None = None,
     max_attempts: int = 3,
     checkpoint_dir: str | os.PathLike | None = None,
@@ -321,7 +331,8 @@ def generate_distributed_supervised(
     """
     if run_key is None and checkpoint_dir is not None:
         run_key = generation_run_key(
-            el_a, el_b, nranks, scheme, storage, routing, chunk_size
+            el_a, el_b, nranks, scheme, storage, routing, chunk_size,
+            pipeline=pipeline, wire=wire,
         )
     # Rank programs without a storage exchange never touch the
     # communicator, so their shards resume independently; routed programs
@@ -349,6 +360,8 @@ def generate_distributed_supervised(
         backend=backend,
         chunk_size=chunk_size,
         routing=routing,
+        pipeline=pipeline,
+        wire=wire,
         runner=runner,
         telemetry=telemetry,
     )
@@ -470,6 +483,8 @@ def run_chaos_matrix(
     scheme: str = "1d",
     storage: str | None = "source_block",
     chunk_size: int = DEFAULT_CHUNK,
+    pipeline: str = "sync",
+    wire: str = "raw",
     recv_timeout_s: float | None = 2.0,
     max_attempts: int = 4,
     checkpoint_root: str | os.PathLike | None = None,
@@ -482,7 +497,10 @@ def run_chaos_matrix(
     recovered product -- in canonical edge order -- bit-for-bit against
     the fault-free reference.  ``recv_timeout_s`` pins
     ``REPRO_RECV_TIMEOUT`` for the duration so dropped-message timeouts
-    resolve in seconds, not minutes.
+    resolve in seconds, not minutes.  ``pipeline``/``wire`` select the
+    async double-buffered loop and the varint wire format
+    (``scheme="1d-pipelined"`` required for ``pipeline="async"``), so the
+    matrix can prove fault recovery for the split-phase exchange too.
     """
     if plans is None:
         plans = default_fault_matrix(seed=seed, nranks=nranks)
@@ -491,6 +509,7 @@ def run_chaos_matrix(
         el, _ = generate_distributed(
             el_a, el_b, nranks, scheme=scheme, storage=storage,
             backend="thread", chunk_size=chunk_size, routing=routing,
+            pipeline=pipeline, wire=wire,
         )
         references[routing] = canonical_edges(el.edges)
     report = ChaosReport()
@@ -509,8 +528,8 @@ def run_chaos_matrix(
                     el, _ = generate_distributed_supervised(
                         el_a, el_b, nranks, scheme=scheme, storage=storage,
                         backend=backend, chunk_size=chunk_size,
-                        routing=routing, fault_plan=plan,
-                        max_attempts=max_attempts,
+                        routing=routing, pipeline=pipeline, wire=wire,
+                        fault_plan=plan, max_attempts=max_attempts,
                         checkpoint_dir=checkpoint_dir, report=sup,
                     )
                 except ReproError as exc:

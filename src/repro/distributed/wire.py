@@ -1,0 +1,233 @@
+"""Delta-sorted varint wire format for edge blocks.
+
+The exchange stage ships ``(m, 2)`` int64 edge blocks between ranks --
+16 bytes per edge regardless of how small the vertex ids are.  The
+paper's deployment compresses its edge streams before the wire; we do
+the same with the classic sorted-delta + LEB128 varint scheme:
+
+1. **Sort** the block lexicographically by ``(src, dst)``.  Sorting is
+   free for correctness -- every consumer of exchanged edges treats a
+   block as a multiset -- and makes consecutive sources near-equal, so
+   deltas are tiny.
+2. **Delta** the interleaved stream ``src0 dst0 src1 dst1 ...`` against
+   the previous value of the *same column* (``src`` deltas against the
+   previous ``src``, ``dst`` against the previous ``dst``), starting
+   from 0.  Sorted sources give non-negative, mostly-zero src deltas;
+   dst deltas can be negative, so
+3. **zigzag-map** each delta to an unsigned value (``0,-1,1,-2,...`` ->
+   ``0,1,2,3,...``) and
+4. **varint-encode**: 7 payload bits per byte, high bit = continuation.
+
+Everything is vectorized numpy -- the encoder scatters all first bytes
+in one pass, all second bytes in a second pass, and so on (at most 10
+passes for 64-bit values); the decoder finds byte-boundaries from the
+continuation bits with one ``flatnonzero`` and gathers the same way.
+
+The encoded payload is a ``uint8`` ndarray (not ``bytes``) so it rides
+the process backend's zero-copy shared-memory path and is counted by
+``payload_nbytes`` like any other array.  Layout::
+
+    [0:4]   magic b"KWR1"
+    [4:12]  uint64 little-endian edge count
+    [12:]   varint stream (2 * count values)
+
+All arithmetic is mod 2**64: deltas and the decoder's cumulative sums
+wrap identically, so any int64 input -- including the full boundary
+range -- roundtrips bit-exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WireFormatError
+
+__all__ = [
+    "WIRE_MAGIC",
+    "encode_edges",
+    "decode_edges",
+    "is_wire_block",
+]
+
+#: First bytes of every encoded block; versioned so a future layout can
+#: change the tail without being mistaken for this one.
+WIRE_MAGIC = b"KWR1"
+
+_HEADER = len(WIRE_MAGIC) + 8  # magic + uint64 count
+#: A 64-bit value needs at most ceil(64/7) = 10 varint bytes.
+_MAX_VARINT_LEN = 10
+
+
+#: All-ones uint64, the zigzag sign mask.
+_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _zigzag(values: np.ndarray) -> np.ndarray:
+    """Map int64 -> uint64 so small-magnitude deltas get small codes."""
+    u = values.view(np.uint64)
+    # Arithmetic shift by 63 smears the sign bit: 0 or -1, i.e. the
+    # zigzag sign mask once viewed unsigned.
+    sign = (values >> np.int64(63)).view(np.uint64)
+    return (u << np.uint64(1)) ^ sign
+
+
+def _unzigzag(values: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_zigzag`: uint64 codes back to int64."""
+    sign = (values & np.uint64(1)) * _ONES
+    return ((values >> np.uint64(1)) ^ sign).view(np.int64)
+
+
+def _varint_lengths(values: np.ndarray, max_len: int) -> np.ndarray:
+    """Encoded byte length of each value: 1 + nonzero 7-bit groups past
+    the first (``bit_length(v) <= 7k  <=>  v < 2**(7k)``)."""
+    lengths = np.ones(values.shape[0], dtype=np.int64)
+    for k in range(1, max_len):
+        lengths += values >= (np.uint64(1) << np.uint64(7 * k))
+    return lengths
+
+
+def _varint_encode(values: np.ndarray) -> np.ndarray:
+    """LEB128-encode a uint64 vector into one uint8 stream."""
+    n = values.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.uint8)
+    # The longest value bounds every per-byte pass below; computing it
+    # once keeps the hot path (tiny deltas, 1-2 bytes) at a couple of
+    # passes instead of ten.
+    max_val = int(values.max())
+    max_len = 1
+    while max_len < _MAX_VARINT_LEN and max_val >= 1 << (7 * max_len):
+        max_len += 1
+    if max_len == 1:
+        # Every value fits in 7 bits: the stream is just the values.
+        return values.astype(np.uint8)
+    lengths = _varint_lengths(values, max_len)
+    # Write a fixed-stride (n, max_len) buffer with contiguous column
+    # ops, then compress out the unused tail bytes with one boolean
+    # take -- row-major flattening keeps each value's bytes adjacent.
+    buf = np.empty((n, max_len), dtype=np.uint8)
+    used = np.empty((n, max_len), dtype=bool)
+    cont = lengths - 1
+    for j in range(max_len):
+        byte = (values >> np.uint64(7 * j)) & np.uint64(0x7F)
+        byte |= (cont > j).astype(np.uint64) << np.uint64(7)
+        buf[:, j] = byte
+        used[:, j] = lengths > j
+    return buf.reshape(-1)[used.reshape(-1)]
+
+
+def _varint_decode(data: np.ndarray, count: int) -> np.ndarray:
+    """Decode exactly ``count`` LEB128 values from a uint8 stream."""
+    if count == 0:
+        if data.size:
+            raise WireFormatError(
+                f"varint stream has {data.size} trailing bytes after 0 values"
+            )
+        return np.empty(0, dtype=np.uint64)
+    if data.size == 0:
+        raise WireFormatError(f"varint stream empty, expected {count} values")
+    ends = np.flatnonzero((data & np.uint8(0x80)) == 0)
+    if ends.size != count:
+        raise WireFormatError(
+            f"varint stream terminates {ends.size} values, expected {count}"
+        )
+    if ends[-1] != data.size - 1:
+        raise WireFormatError(
+            f"varint stream has {data.size - 1 - int(ends[-1])} trailing bytes"
+        )
+    starts = np.empty(count, dtype=np.int64)
+    starts[0] = 0
+    starts[1:] = ends[:-1] + 1
+    lengths = ends - starts + 1
+    max_len = int(lengths.max())
+    if max_len > _MAX_VARINT_LEN:
+        raise WireFormatError(
+            f"varint longer than {_MAX_VARINT_LEN} bytes (corrupt stream)"
+        )
+    if max_len == 1:
+        return data.astype(np.uint64)
+    # Inverse of the encoder's compress: expand the stream into a
+    # fixed-stride (count, max_len) buffer with one boolean scatter,
+    # then fold the byte columns together with contiguous ops.
+    buf = np.zeros((count, max_len), dtype=np.uint8)
+    used = np.empty((count, max_len), dtype=bool)
+    for j in range(max_len):
+        used[:, j] = lengths > j
+    buf.reshape(-1)[used.reshape(-1)] = data
+    values = np.zeros(count, dtype=np.uint64)
+    for j in range(max_len):
+        values |= (buf[:, j] & np.uint8(0x7F)).astype(np.uint64) << np.uint64(
+            7 * j
+        )
+    return values
+
+
+def encode_edges(edges: np.ndarray) -> np.ndarray:
+    """Encode an ``(m, 2)`` int64 edge block into a uint8 wire block.
+
+    The block is sorted by ``(src, dst)`` before encoding, so the encoded
+    form preserves the edge *multiset* but not the row order -- the same
+    contract every exchange consumer already assumes.
+    """
+    edges = np.ascontiguousarray(edges, dtype=np.int64)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise WireFormatError(
+            f"encode_edges expects an (m, 2) block, got shape {edges.shape}"
+        )
+    m = edges.shape[0]
+    header = np.empty(_HEADER, dtype=np.uint8)
+    header[:4] = np.frombuffer(WIRE_MAGIC, dtype=np.uint8)
+    header[4:] = np.frombuffer(
+        np.uint64(m).tobytes(), dtype=np.uint8
+    )
+    if m == 0:
+        return header
+    if edges.min() >= 0 and edges.max() < 1 << 32:
+        # Common case: vertex ids fit in 32 bits, so (src, dst) packs
+        # into one uint64 key and a plain sort replaces the much
+        # slower two-key lexsort.  Same order, ~10x faster.
+        u = edges.view(np.uint64)
+        key = (u[:, 0] << np.uint64(32)) | u[:, 1]
+        key.sort()
+        flat = np.empty(2 * m, dtype=np.uint64)
+        flat[0::2] = key >> np.uint64(32)
+        flat[1::2] = key & np.uint64(0xFFFFFFFF)
+    else:
+        order = np.lexsort((edges[:, 1], edges[:, 0]))
+        flat = edges[order].reshape(-1).view(np.uint64)
+    # Per-column deltas on the interleaved stream: element i deltas
+    # against element i-2 (same column), mod 2**64.
+    deltas = flat.copy()
+    deltas[2:] -= flat[:-2]
+    body = _varint_encode(_zigzag(deltas.view(np.int64)))
+    return np.concatenate([header, body])
+
+
+def is_wire_block(obj: object) -> bool:
+    """True if ``obj`` looks like an :func:`encode_edges` payload."""
+    return (
+        isinstance(obj, np.ndarray)
+        and obj.dtype == np.uint8
+        and obj.ndim == 1
+        and obj.size >= _HEADER
+        and bytes(obj[:4]) == WIRE_MAGIC
+    )
+
+
+def decode_edges(block: np.ndarray) -> np.ndarray:
+    """Decode a wire block back to an ``(m, 2)`` int64 edge array.
+
+    Rows come back sorted by ``(src, dst)`` (the encoder's order).
+    """
+    block = np.asarray(block)
+    if not is_wire_block(block):
+        raise WireFormatError(
+            "decode_edges: payload does not carry the wire magic"
+        )
+    m = int(np.frombuffer(bytes(block[4:_HEADER]), dtype=np.uint64)[0])
+    codes = _varint_decode(block[_HEADER:], 2 * m)
+    deltas = _unzigzag(codes).view(np.uint64)
+    flat = np.empty(2 * m, dtype=np.uint64)
+    flat[0::2] = np.cumsum(deltas[0::2], dtype=np.uint64)
+    flat[1::2] = np.cumsum(deltas[1::2], dtype=np.uint64)
+    return flat.view(np.int64).reshape(m, 2)

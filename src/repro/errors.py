@@ -14,6 +14,7 @@ __all__ = [
     "AssumptionError",
     "PartitionError",
     "CommunicatorError",
+    "WireFormatError",
     "CollectiveOrderError",
     "RankCrashError",
     "RankFailedError",
@@ -57,6 +58,18 @@ class CommunicatorError(ReproError):
 
     Examples: mismatched collective participation, send to an out-of-range
     rank, or use of a communicator after shutdown.
+    """
+
+
+class WireFormatError(CommunicatorError):
+    """An encoded edge block failed to decode.
+
+    Raised by :mod:`repro.distributed.wire` when a payload carries the
+    wire magic but its header or varint stream is malformed (truncated
+    stream, impossible varint length, count mismatch).  In practice this
+    only happens when fault injection corrupts a message, so the
+    supervisor treats it as retryable like any other
+    :class:`CommunicatorError`.
     """
 
 

@@ -20,8 +20,13 @@ COLLECTIVE_OPS = frozenset(
 
 #: Operations whose return value is a received (possibly shared) buffer.
 RECEIVING_OPS = frozenset(
-    {"recv", "alltoall", "allgather", "gather", "bcast", "scatter"}
+    {"recv", "alltoall", "allgather", "gather", "bcast", "scatter",
+     "alltoall_finish"}
 )
+
+#: Nonblocking operations whose buffer argument stays owned by the
+#: runtime until the returned request is waited on.
+INFLIGHT_OPS = frozenset({"isend", "alltoall_start"})
 
 
 def attr_chain(node: ast.AST) -> tuple[str, ...] | None:

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.distributed.comm import Communicator
+from repro.distributed.comm import Communicator, Request
 
 __all__ = ["InstrumentedCommunicator", "payload_nbytes"]
 
@@ -55,6 +55,65 @@ def payload_nbytes(obj: Any) -> int:
     if isinstance(obj, str):
         return len(obj)
     return 0
+
+
+class _InstrumentedRequest(Request):
+    """Times the *wait* phase of a nonblocking operation.
+
+    Split-phase ops are issued under a ``comm.<op>_start`` span; the time
+    the caller later blocks in ``wait()`` is recorded separately as a
+    ``comm.wait`` span plus ``comm.wait.seconds`` counters, so a trace
+    distinguishes "issuing the exchange" from "stalled on the network".
+    Metrics are recorded once (first completion), matching the request's
+    cached-result semantics; ``spanned=False`` counts without a span
+    (p2p irecv -- per-message spans would flood pipelined traces).
+    """
+
+    def __init__(
+        self,
+        inner: Request,
+        telemetry,
+        bytes_counter: str,
+        *,
+        spanned: bool = True,
+    ) -> None:
+        self._inner = inner
+        self._telemetry = telemetry
+        self._bytes_counter = bytes_counter
+        self._spanned = spanned
+        self._counted = False
+
+    def _record(self, result: Any, elapsed: float) -> None:
+        if self._counted:
+            return
+        self._counted = True
+        tel = self._telemetry
+        tel.add("comm.wait.calls")
+        tel.observe("comm.wait.seconds", elapsed)
+        tel.add("comm.wait.seconds.total", elapsed)
+        bytes_in = payload_nbytes(result)
+        if bytes_in:
+            tel.add(self._bytes_counter, bytes_in)
+
+    def wait(self) -> Any:
+        if self._counted:
+            return self._inner.wait()
+        tel = self._telemetry
+        t0 = tel.clock()
+        if self._spanned:
+            with tel.span("comm.wait", cat="comm"):
+                result = self._inner.wait()
+        else:
+            result = self._inner.wait()
+        self._record(result, tel.clock() - t0)
+        return result
+
+    def test(self) -> bool:
+        done = self._inner.test()
+        if done and not self._counted:
+            # Completed without blocking: zero wait time, bytes still count.
+            self._record(self._inner.wait(), 0.0)
+        return done
 
 
 class InstrumentedCommunicator(Communicator):
@@ -103,6 +162,22 @@ class InstrumentedCommunicator(Communicator):
         tel.add("comm.recv.calls")
         tel.add("comm.recv.bytes", payload_nbytes(obj))
         return obj
+
+    # ---- nonblocking p2p: counters at issue, wait timed on the request --
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        tel = self.telemetry
+        tel.add("comm.send.calls")
+        tel.add("comm.send.bytes", payload_nbytes(obj))
+        return self._inner.isend(obj, dest, tag)
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        self.telemetry.add("comm.recv.calls")
+        return _InstrumentedRequest(
+            self._inner.irecv(source, tag),
+            self.telemetry,
+            "comm.recv.bytes",
+            spanned=False,
+        )
 
     # ---- collectives: span + counters, delegated to inner ---------------
     def _timed(
@@ -181,3 +256,20 @@ class InstrumentedCommunicator(Communicator):
             bytes_out=payload_nbytes(objs),
             size_in=payload_nbytes,
         )
+
+    # ---- split-phase alltoall: issue timed here, wait on the request ----
+    def alltoall_start(self, objs: list[Any]) -> Request:
+        request = self._timed(
+            "alltoall_start", lambda: self._inner.alltoall_start(objs)
+        )
+        # Outgoing volume lands on the same counter as blocking alltoall
+        # so ``bytes_shuffled`` aggregations see both paths uniformly.
+        self.telemetry.add("comm.alltoall.bytes_out", payload_nbytes(objs))
+        return _InstrumentedRequest(
+            request, self.telemetry, "comm.alltoall.bytes_in"
+        )
+
+    def alltoall_finish(self, request: Request) -> list[Any]:
+        if isinstance(request, _InstrumentedRequest):
+            return request.wait()
+        return self._inner.alltoall_finish(request)

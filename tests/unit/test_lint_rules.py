@@ -603,3 +603,90 @@ class TestWallClock:
             for f in lint_paths([src / "distributed"], rules=all_rules(["wall-clock"]))
         ]
         assert found == []
+
+
+class TestInflightBuffer:
+    def test_mutation_before_wait_flagged(self):
+        fs = findings_for(
+            """
+            def f(comm, buf):
+                req = comm.isend(buf, 1)
+                buf.fill(0)
+                req.wait()
+            """
+        )
+        assert [f.rule for f in fs] == ["inflight-buffer"]
+        assert fs[0].severity == "error"
+        assert "isend" in fs[0].message
+        assert fs[0].line == 4
+
+    def test_item_assignment_into_inflight_exchange_flagged(self):
+        fs = findings_for(
+            """
+            def f(comm, outgoing):
+                req = comm.alltoall_start(outgoing)
+                outgoing[0] = None
+                return comm.alltoall_finish(req)
+            """
+        )
+        assert [f.rule for f in fs] == ["inflight-buffer"]
+        assert "alltoall_start" in fs[0].message
+        assert fs[0].line == 4
+
+    def test_augassign_on_inflight_buffer_flagged(self):
+        fs = findings_for(
+            """
+            def f(comm, buf):
+                req = comm.isend(buf, 1)
+                buf += 1
+                req.wait()
+            """
+        )
+        assert [f.rule for f in fs] == ["inflight-buffer"]
+        assert fs[0].line == 4
+
+    def test_wait_releases_buffer(self):
+        fs = findings_for(
+            """
+            def f(comm, buf):
+                req = comm.isend(buf, 1)
+                req.wait()
+                buf.fill(0)
+            """
+        )
+        assert fs == []
+
+    def test_alltoall_finish_releases_buffers(self):
+        fs = findings_for(
+            """
+            def f(comm, outgoing):
+                req = comm.alltoall_start(outgoing)
+                received = comm.alltoall_finish(req)
+                outgoing[0] = None
+                return received
+            """
+        )
+        assert [f.rule for f in fs] == []
+
+    def test_rebinding_clears_taint(self):
+        fs = findings_for(
+            """
+            def f(comm, buf):
+                req = comm.isend(buf, 1)
+                buf = [0]
+                buf.append(1)
+                req.wait()
+            """
+        )
+        assert fs == []
+
+    def test_inline_start_finish_is_clean(self):
+        fs = findings_for(
+            """
+            def f(comm, outgoing):
+                received = comm.alltoall_finish(comm.alltoall_start(outgoing))
+                outgoing[0] = None
+                return received
+            """
+        )
+        assert fs == []

@@ -1,0 +1,254 @@
+"""Nonblocking point-to-point and split-phase alltoall: Request
+semantics, wrapper threading (checked / faulty / instrumented), and the
+emulated interconnect (repro.distributed.netsim).
+
+Rank functions are module-level so the process backend can pickle them.
+"""
+
+import time
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    NetworkModel,
+    ThrottledCommunicator,
+    make_thread_world,
+    spmd_run,
+)
+from repro.distributed.comm import CompletedRequest
+from repro.distributed.faults import FaultPlan
+from repro.errors import CommunicatorError
+from repro.telemetry import TelemetrySession
+from repro.telemetry.clock import perf_clock
+
+# Keep divergence tests fast: the sentinel gives up on absent peers quickly.
+FAST_SENTINEL = {"REPRO_SENTINEL_TIMEOUT": "2.0"}
+
+
+@pytest.fixture
+def fast_sentinel(monkeypatch):
+    for key, value in FAST_SENTINEL.items():
+        monkeypatch.setenv(key, value)
+
+
+# ---- rank programs (module-level for process-backend pickling) -----------
+
+def _ring_isend(comm):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    req_out = comm.isend(("hello", comm.rank), dest=right)
+    req_in = comm.irecv(source=left)
+    got = req_in.wait()
+    req_out.wait()
+    # MPI semantics: re-waiting a completed request returns the cache.
+    assert req_in.wait() is got
+    assert req_in.test()
+    return got
+
+
+def _probe_completes_test(comm):
+    if comm.rank == 0:
+        comm.send(np.arange(5), dest=1)
+        comm.barrier()
+        return True
+    comm.barrier()  # after this, rank 0's message is (nearly) queued
+    req = comm.irecv(source=0)
+    # test() must flip to True via probe alone -- without this rank ever
+    # calling the blocking wait() first.  The loop only absorbs queue
+    # propagation delay on the process backend.
+    deadline = time.monotonic() + 5.0
+    while not req.test():
+        if time.monotonic() > deadline:
+            return False
+        time.sleep(0.001)
+    return bool(np.array_equal(req.wait(), np.arange(5)))
+
+
+def _split_phase_matches_blocking(comm):
+    payload = [f"{comm.rank}->{dest}" for dest in range(comm.size)]
+    blocking = comm.alltoall(list(payload))
+    req = comm.alltoall_start(list(payload))
+    acc = sum(range(1000))  # overlapped compute stands in here
+    split = comm.alltoall_finish(req)
+    assert acc == 499500
+    # Re-finishing returns the cached list, and test() is now True.
+    assert req.wait() is split
+    assert req.test()
+    return split == blocking
+
+
+def _split_phase_test_after_barrier(comm):
+    req = comm.alltoall_start([comm.rank] * comm.size)
+    comm.barrier()  # every rank's sends are now (nearly) queued
+    deadline = time.monotonic() + 5.0
+    while not req.test():  # completes via probe, never a blocking wait
+        if time.monotonic() > deadline:
+            return False
+        time.sleep(0.001)
+    return req.wait() == list(range(comm.size))
+
+
+def _start_wrong_length(comm):
+    try:
+        comm.alltoall_start([0])
+        return None
+    except CommunicatorError as exc:
+        return str(exc)
+
+
+def _mixed_collectives(comm):
+    # A blocking alltoall while a split-phase exchange is in flight must
+    # not cross wires: they use different tags.
+    req = comm.alltoall_start([("async", comm.rank)] * comm.size)
+    blocking = comm.alltoall([("sync", comm.rank)] * comm.size)
+    split = comm.alltoall_finish(req)
+    return (
+        [x[0] for x in blocking] == ["sync"] * comm.size
+        and [x[0] for x in split] == ["async"] * comm.size
+    )
+
+
+def _divergent_start(comm):
+    if comm.rank == 0:
+        req = comm.alltoall_start(  # repro-lint: disable=collective-symmetry
+            [None] * comm.size
+        )
+        return comm.alltoall_finish(req)
+    return comm.allreduce(comm.rank, max)
+
+
+def _split_phase_sum(comm):
+    req = comm.alltoall_start([comm.rank] * comm.size)
+    return sum(comm.alltoall_finish(req))
+
+
+def _timed_throttled_exchange(comm):
+    payload = [np.zeros(1 << 12, dtype=np.int64)] * comm.size  # 32 KB each
+    comm.barrier()
+    t0 = perf_clock()
+    out = comm.alltoall(list(payload))
+    elapsed = perf_clock() - t0
+    ok = all(np.array_equal(x, payload[0]) for x in out)
+    return ok, elapsed
+
+
+# ---- tests ---------------------------------------------------------------
+
+class TestNonblockingP2P:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_isend_irecv_ring(self, backend):
+        results = spmd_run(_ring_isend, 3, backend=backend)
+        assert results == [("hello", 2), ("hello", 0), ("hello", 1)]
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_probe_lets_test_complete_without_blocking(self, backend):
+        assert all(spmd_run(_probe_completes_test, 2, backend=backend))
+
+    def test_isend_returns_completed_request(self):
+        comms = make_thread_world(2)
+        req = comms[0].isend("x", dest=1)
+        assert isinstance(req, CompletedRequest)
+        assert req.test()
+        assert req.wait() is None
+        assert comms[1].recv(0) == "x"
+
+    def test_irecv_test_is_false_before_arrival(self):
+        comms = make_thread_world(2)
+        req = comms[1].irecv(source=0)
+        assert not req.test()
+        comms[0].send(42, dest=1)
+        deadline = time.monotonic() + 2.0
+        while not req.test():
+            assert time.monotonic() < deadline
+        assert req.wait() == 42
+
+
+class TestSplitPhaseAlltoall:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_matches_blocking_alltoall(self, backend):
+        assert all(spmd_run(_split_phase_matches_blocking, 4, backend=backend))
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_request_test_completes_after_barrier(self, backend):
+        assert all(
+            spmd_run(_split_phase_test_after_barrier, 3, backend=backend)
+        )
+
+    def test_wrong_object_count_raises(self):
+        msgs = spmd_run(_start_wrong_length, 2)
+        assert all(m and "alltoall_start" in m for m in msgs)
+
+    def test_distinct_tag_from_blocking_alltoall(self):
+        assert all(spmd_run(_mixed_collectives, 3))
+
+
+class TestWrapperThreading:
+    def test_checked_split_phase_is_symmetric_op(self, fast_sentinel):
+        # alltoall_start is fingerprinted by the sentinel like any other
+        # collective: mixing it with allreduce on another rank diverges.
+        with pytest.raises(CommunicatorError, match="diverged"):
+            spmd_run(_divergent_start, 2, checked=True)
+
+    def test_checked_accepts_symmetric_split_phase(self):
+        results = spmd_run(_split_phase_sum, 3, checked=True)
+        assert results == [3, 3, 3]
+
+    def test_fault_delay_on_inflight_exchange_is_transparent(self):
+        plan = FaultPlan(seed=7, delay_prob=1.0, delay_s=0.01)
+        results = spmd_run(
+            _split_phase_sum, 3, wrap_comm=plan.binder(0)
+        )
+        assert results == [3, 3, 3]
+
+    def test_fault_drop_stalls_inflight_exchange(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RECV_TIMEOUT", "0.5")
+        plan = FaultPlan(seed=7, drop_prob=1.0)
+        with pytest.raises(CommunicatorError):
+            spmd_run(_split_phase_sum, 2, wrap_comm=plan.binder(0))
+
+    def test_instrumented_wait_spans_and_counters(self):
+        session = TelemetrySession()
+        spmd_run(_split_phase_sum, 3, telemetry=session)
+        counters = session.aggregated_metrics()["counters"]
+        assert counters["comm.alltoall_start.calls"] == 3
+        assert counters["comm.wait.calls"] == 3
+        assert counters["comm.wait.seconds.total"] >= 0.0
+        assert "comm.wait" in session.span_totals()
+
+
+class TestNetsim:
+    def test_wire_seconds(self):
+        model = NetworkModel(bandwidth=1e6, latency=0.01)
+        assert model.wire_seconds(0) == pytest.approx(0.01)
+        assert model.wire_seconds(2_000_000) == pytest.approx(2.01)
+
+    def test_throttled_results_are_unchanged(self):
+        wrap = partial(
+            ThrottledCommunicator,
+            model=NetworkModel(bandwidth=1e12, latency=0.0),
+        )
+        assert spmd_run(_split_phase_sum, 3, wrap_comm=wrap) == [3, 3, 3]
+
+    def test_wire_time_is_charged(self):
+        # 3 ranks x 2 peer messages of 32 KB at 1 MB/s is ~32 ms per
+        # message; messages to distinct peers overlap, so the kernel
+        # must take at least one wire time but needn't take the sum.
+        model = NetworkModel(bandwidth=1e6, latency=0.0)
+        wrap = partial(ThrottledCommunicator, model=model)
+        results = spmd_run(_timed_throttled_exchange, 3, wrap_comm=wrap)
+        wire_one = model.wire_seconds((1 << 12) * 8)
+        assert all(ok for ok, _ in results)
+        assert all(elapsed >= wire_one for _, elapsed in results)
+
+    def test_barrier_is_not_throttled(self):
+        model = NetworkModel(bandwidth=1.0, latency=10.0)  # brutal wire
+
+        def fn(comm):
+            t0 = perf_clock()
+            comm.barrier()
+            return perf_clock() - t0
+
+        wrap = partial(ThrottledCommunicator, model=model)
+        assert all(t < 5.0 for t in spmd_run(fn, 2, wrap_comm=wrap))

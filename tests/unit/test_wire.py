@@ -1,0 +1,151 @@
+"""Unit tests for the delta-sorted varint wire format (repro.distributed.wire)."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.wire import (
+    WIRE_MAGIC,
+    decode_edges,
+    encode_edges,
+    is_wire_block,
+)
+from repro.errors import CommunicatorError, WireFormatError
+
+
+def lexsorted(edges):
+    if not edges.size:
+        return edges
+    return edges[np.lexsort((edges[:, 1], edges[:, 0]))]
+
+
+def roundtrip(edges):
+    return decode_edges(encode_edges(edges))
+
+
+class TestRoundtrip:
+    def test_small_block_sorted_output(self):
+        e = np.array([[3, 1], [0, 5], [3, 0], [0, 2]], dtype=np.int64)
+        got = roundtrip(e)
+        assert np.array_equal(got, lexsorted(e))
+        assert got.dtype == np.int64
+
+    def test_empty(self):
+        e = np.empty((0, 2), dtype=np.int64)
+        got = roundtrip(e)
+        assert got.shape == (0, 2)
+        assert got.dtype == np.int64
+
+    def test_single_edge(self):
+        e = np.array([[123456789, 987654321]], dtype=np.int64)
+        assert np.array_equal(roundtrip(e), e)
+
+    def test_duplicates_preserved(self):
+        e = np.repeat(np.array([[3, 3]], dtype=np.int64), 17, axis=0)
+        assert np.array_equal(roundtrip(e), e)
+
+    def test_int64_boundaries_via_lexsort_fallback(self):
+        # Values outside [0, 2**32) take the lexsort path; deltas wrap
+        # mod 2**64 and must still roundtrip bit-exactly.
+        e = np.array(
+            [
+                [-(2**63), 2**63 - 1],
+                [2**63 - 1, -(2**63)],
+                [0, -1],
+                [-1, 0],
+            ],
+            dtype=np.int64,
+        )
+        assert np.array_equal(roundtrip(e), lexsorted(e))
+
+    def test_just_past_packed_key_range(self):
+        # 2**32 is the first id that cannot ride the packed uint64 sort.
+        e = np.array([[2**32, 5], [4, 2**40 + 1]], dtype=np.int64)
+        assert np.array_equal(roundtrip(e), lexsorted(e))
+
+    @pytest.mark.parametrize("hi", [2, 128, 1 << 14, 1 << 21, 1 << 31])
+    def test_random_blocks_all_varint_widths(self, hi):
+        rng = np.random.default_rng(hi)
+        e = rng.integers(0, hi, size=(257, 2), dtype=np.int64)
+        assert np.array_equal(roundtrip(e), lexsorted(e))
+
+    def test_encoder_does_not_mutate_input(self):
+        rng = np.random.default_rng(3)
+        e = rng.integers(0, 100, size=(50, 2), dtype=np.int64)
+        orig = e.copy()
+        encode_edges(e)
+        assert np.array_equal(e, orig)
+
+    def test_compresses_realistic_ids(self):
+        rng = np.random.default_rng(9)
+        e = rng.integers(0, 1600, size=(4096, 2), dtype=np.int64)
+        assert encode_edges(e).nbytes < e.nbytes / 2
+
+    def test_reencode_is_deterministic(self):
+        rng = np.random.default_rng(11)
+        e = rng.integers(0, 5000, size=(300, 2), dtype=np.int64)
+        blk = encode_edges(e)
+        assert np.array_equal(encode_edges(decode_edges(blk)), blk)
+
+
+class TestIsWireBlock:
+    def test_accepts_encoded_block(self):
+        assert is_wire_block(encode_edges(np.empty((0, 2), dtype=np.int64)))
+
+    def test_rejects_raw_edge_block(self):
+        assert not is_wire_block(np.zeros((8, 2), dtype=np.int64))
+
+    def test_rejects_short_and_wrong_magic(self):
+        assert not is_wire_block(np.frombuffer(WIRE_MAGIC, dtype=np.uint8))
+        bad = encode_edges(np.empty((0, 2), dtype=np.int64)).copy()
+        bad[0] ^= 0xFF
+        assert not is_wire_block(bad)
+
+    def test_rejects_non_arrays(self):
+        assert not is_wire_block(WIRE_MAGIC + b"\x00" * 8)
+        assert not is_wire_block(None)
+
+
+class TestMalformed:
+    def test_decode_requires_magic(self):
+        with pytest.raises(WireFormatError):
+            decode_edges(np.zeros(16, dtype=np.uint8))
+
+    def test_truncated_stream(self):
+        blk = encode_edges(np.array([[700, 900]], dtype=np.int64))
+        with pytest.raises(WireFormatError):
+            decode_edges(blk[:-1])
+
+    def test_trailing_bytes(self):
+        blk = encode_edges(np.array([[1, 2]], dtype=np.int64))
+        padded = np.concatenate([blk, np.zeros(1, dtype=np.uint8)])
+        with pytest.raises(WireFormatError):
+            decode_edges(padded)
+
+    def test_trailing_bytes_after_empty(self):
+        blk = encode_edges(np.empty((0, 2), dtype=np.int64))
+        padded = np.concatenate([blk, np.zeros(2, dtype=np.uint8)])
+        with pytest.raises(WireFormatError):
+            decode_edges(padded)
+
+    def test_stream_ends_mid_value(self):
+        # A lone continuation byte never terminates: count mismatch.
+        blk = encode_edges(np.array([[1, 2]], dtype=np.int64)).copy()
+        blk[-1] |= 0x80
+        with pytest.raises(WireFormatError):
+            decode_edges(blk)
+
+    def test_overlong_varint(self):
+        header = encode_edges(np.empty((0, 2), dtype=np.int64)).copy()
+        header[4] = 1  # claim one edge
+        stream = np.array([0] + [0x80] * 10 + [0], dtype=np.uint8)
+        with pytest.raises(WireFormatError):
+            decode_edges(np.concatenate([header, stream]))
+
+    def test_encode_rejects_bad_shape(self):
+        with pytest.raises(WireFormatError):
+            encode_edges(np.zeros((3, 3), dtype=np.int64))
+
+    def test_wire_error_is_retryable_comm_error(self):
+        # Supervised retry treats CommunicatorError as transient; a
+        # corrupt block must ride the same path.
+        assert issubclass(WireFormatError, CommunicatorError)
