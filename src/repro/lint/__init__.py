@@ -16,11 +16,17 @@ invariants the Python runtime cannot enforce:
   time-derived seeds.
 
 This package makes those invariants machine-checked: an AST-based rule
-framework (:mod:`repro.lint.core`) with four rule families
-(:mod:`repro.lint.rules`), per-line ``# repro-lint: disable=RULE``
-suppressions, a checked-in findings baseline (:mod:`repro.lint.baseline`)
-so CI fails only on *new* findings, and human/JSON reporters behind
-``python -m repro.lint`` (:mod:`repro.lint.cli`).
+framework (:mod:`repro.lint.core`) with per-file rule families
+(:mod:`repro.lint.rules`), a *whole-program* analysis layer -- a
+communication IR per module (:mod:`repro.lint.ir`), a call graph with
+per-function comm summaries (:mod:`repro.lint.callgraph`), and
+interprocedural protocol rules (:mod:`repro.lint.rules.protocol`) --
+per-line ``# repro-lint: disable=RULE`` suppressions, a checked-in
+findings baseline (:mod:`repro.lint.baseline`) so CI fails only on
+*new* findings, an incremental content-addressed cache
+(:mod:`repro.lint.cache` driven by :mod:`repro.lint.engine`), and
+human/JSON/SARIF reporters behind ``python -m repro.lint``
+(:mod:`repro.lint.cli`).
 
 The dynamic companion -- the runtime collective-order sentinel that turns
 a would-be deadlock into a diagnostic naming both divergent call sites --
@@ -35,13 +41,19 @@ from repro.lint.baseline import (
 from repro.lint.core import (
     Finding,
     LintContext,
+    ProgramRule,
     Rule,
+    all_program_rules,
     all_rules,
+    known_rule_names,
     lint_file,
     lint_paths,
     lint_source,
     register,
+    register_program,
+    resolve_selection,
 )
+from repro.lint.engine import analyze_paths
 from repro.lint.rules import (
     BufferOwnershipRule,
     CollectiveSymmetryRule,
@@ -53,11 +65,17 @@ __all__ = [
     "Finding",
     "LintContext",
     "Rule",
+    "ProgramRule",
     "all_rules",
+    "all_program_rules",
+    "known_rule_names",
+    "resolve_selection",
     "register",
+    "register_program",
     "lint_source",
     "lint_file",
     "lint_paths",
+    "analyze_paths",
     "load_baseline",
     "write_baseline",
     "filter_baseline",

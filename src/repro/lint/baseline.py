@@ -2,10 +2,13 @@
 
 A baseline is a checked-in JSON file recording the fingerprints of known
 (accepted or not-yet-fixed) findings.  Fingerprints are content-addressed
--- ``sha1(path :: rule :: stripped source line :: occurrence index)`` --
-so they survive unrelated line drift: moving a suppressed line ten lines
-down does not invalidate the baseline, while editing the line (or adding
-a second identical violation) does surface it.
+-- ``sha1(rule :: stripped source line :: content context :: occurrence
+index)`` -- so they survive both unrelated line drift *and* file moves:
+relocating a module (``src/x.py`` -> ``src/pkg/x.py``) keeps its
+baselined findings baselined, while editing the finding line or its
+immediate surroundings (or adding another identical violation) surfaces
+it as new.  The file path is recorded per entry for human readers but is
+deliberately not part of the fingerprint.
 """
 
 from __future__ import annotations
@@ -25,22 +28,23 @@ __all__ = [
     "filter_baseline",
 ]
 
-_VERSION = 1
+_VERSION = 2
 
 
 def fingerprints(findings: Iterable[Finding]) -> list[tuple[Finding, str]]:
     """Pair each finding with its stable fingerprint.
 
-    Findings sharing ``(path, rule, snippet)`` are disambiguated by their
-    occurrence index in line order, so N identical violations baseline as
-    N distinct fingerprints and an N+1st is reported as new.
+    Findings sharing ``(rule, snippet, context)`` are disambiguated by
+    their occurrence index in ``(path, line, col)`` order, so N identical
+    violations baseline as N distinct fingerprints and an N+1st is
+    reported as new.
     """
     by_key: dict[tuple[str, str, str], list[Finding]] = defaultdict(list)
     for f in findings:
-        by_key[(f.path, f.rule, f.snippet)].append(f)
+        by_key[(f.rule, f.snippet, f.context)].append(f)
     out: list[tuple[Finding, str]] = []
     for key, group in by_key.items():
-        group.sort(key=lambda f: (f.line, f.col))
+        group.sort(key=lambda f: (f.path, f.line, f.col))
         for occurrence, f in enumerate(group):
             raw = "::".join((*key, str(occurrence)))
             out.append((f, hashlib.sha1(raw.encode("utf-8")).hexdigest()))
@@ -76,7 +80,8 @@ def load_baseline(path: str | Path) -> set[str]:
     if payload.get("version") != _VERSION:
         raise ValueError(
             f"unsupported baseline version {payload.get('version')!r} "
-            f"in {path}"
+            f"in {path} (this tool writes version {_VERSION}; regenerate "
+            f"with --write-baseline)"
         )
     return {e["fingerprint"] for e in payload.get("findings", [])}
 

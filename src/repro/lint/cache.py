@@ -1,0 +1,92 @@
+"""Content-addressed per-file cache for the incremental lint engine.
+
+Each analyzed file produces one cache entry keyed by the SHA-256 of its
+*content* -- not its path or mtime -- so a rebuilt checkout, a renamed
+file, or a ``git stash`` round trip all hit the cache as long as the
+bytes match.  An entry stores everything :mod:`repro.lint.engine` needs
+to skip re-analysis:
+
+* the file-rule findings (post-suppression),
+* the serialized communication IR (:class:`repro.lint.ir.ModuleIR`),
+* the expanded suppression maps (per-line and file-wide), which the
+  program rules apply to their own findings.
+
+Entries live under ``<cache-dir>/<schema-tag>/<hash>.json``.  The schema
+tag folds the engine schema version, the IR version, and the selected
+file-rule names through :func:`repro.util.hashing.mix_tokens`, so a
+schema bump or a different ``--select`` can never resurrect stale
+entries -- they simply land in a different subdirectory.
+
+Writes are atomic (temp file + rename) and reads treat any unreadable or
+malformed entry as a miss: a corrupted cache costs a recompute, never a
+wrong answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.util.hashing import mix_tokens
+
+__all__ = ["DEFAULT_CACHE_DIR", "LintCache", "content_key", "schema_tag"]
+
+#: Default cache location, relative to the working directory (gitignored).
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+
+def content_key(data: bytes) -> str:
+    """Cache key of one file's raw bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def schema_tag(schema_version: int, ir_version: int, rule_names) -> str:
+    """Digest naming the analysis configuration an entry was made under."""
+    tokens = [f"schema={schema_version}", f"ir={ir_version}", *sorted(rule_names)]
+    return f"{mix_tokens(tokens):016x}"
+
+
+class LintCache:
+    """A directory of per-file analysis results for one schema tag."""
+
+    def __init__(self, root: str | Path, tag: str) -> None:
+        self.dir = Path(root) / tag
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, key: str) -> Path:
+        return self.dir / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Load an entry; any failure whatsoever is a miss."""
+        try:
+            with open(self._entry_path(key), encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(entry, dict) or entry.get("key") != key:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, entry: dict) -> None:
+        """Store an entry atomically; cache write failures are ignored
+        (the analysis result is already in hand)."""
+        entry = dict(entry, key=key)
+        path = self._entry_path(key)
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(
+                json.dumps(entry, separators=(",", ":")), encoding="utf-8"
+            )
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass

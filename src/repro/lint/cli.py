@@ -4,6 +4,12 @@ Exit codes: ``0`` clean (after suppressions and baseline), ``1`` findings
 reported, ``2`` usage or internal error -- the semantics CI keys off.
 The same arguments are mounted as the ``repro-kron lint`` subcommand by
 :mod:`repro.cli`.
+
+Runs the full incremental engine: file rules plus the whole-program
+protocol rules, with per-file results cached content-addressed under
+``--cache-dir`` (default ``.repro-lint-cache``; disable with
+``--no-cache``).  ``--sarif FILE`` additionally writes a SARIF 2.1.0
+report of the post-baseline findings for CI code-scanning upload.
 """
 
 from __future__ import annotations
@@ -13,7 +19,9 @@ import json
 import sys
 
 from repro.lint.baseline import filter_baseline, load_baseline, write_baseline
-from repro.lint.core import Finding, all_rules, lint_paths
+from repro.lint.cache import DEFAULT_CACHE_DIR
+from repro.lint.core import Finding, all_program_rules, all_rules
+from repro.lint.engine import analyze_paths
 
 __all__ = ["add_lint_arguments", "run_lint", "main"]
 
@@ -41,6 +49,22 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="write current findings as the new baseline and exit 0",
     )
     parser.add_argument(
+        "--sarif", default=None, metavar="FILE",
+        help="also write findings (after baseline filtering) as SARIF 2.1.0",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=f"incremental analysis cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the incremental cache (analyze every file fresh)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print cache reuse statistics to stderr",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="list registered rules and exit",
     )
@@ -52,6 +76,11 @@ def _print_rules() -> None:
             f" [scope: {', '.join(rule.scope_dirs)}/]" if rule.scope_dirs else ""
         )
         print(f"{rule.name:<22} {rule.severity:<8} {rule.description}{scope}")
+    for rule in all_program_rules():
+        print(
+            f"{rule.name:<22} {rule.severity:<8} "
+            f"[whole-program] {rule.description}"
+        )
 
 
 def _report(findings: list[Finding], fmt: str) -> None:
@@ -74,21 +103,30 @@ def run_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         _print_rules()
         return 0
+    select = (
+        [s.strip() for s in args.select.split(",") if s.strip()]
+        if args.select
+        else None
+    )
+    cache_dir = None if getattr(args, "no_cache", False) else getattr(
+        args, "cache_dir", DEFAULT_CACHE_DIR
+    )
     try:
-        select = (
-            [s.strip() for s in args.select.split(",") if s.strip()]
-            if args.select
-            else None
+        findings, stats = analyze_paths(
+            args.paths, select=select, cache_dir=cache_dir
         )
-        rules = all_rules(select)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    try:
-        findings = lint_paths(args.paths, rules=rules)
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if getattr(args, "stats", False):
+        print(
+            f"lint: {stats['files']} file(s), {stats['reused']} reused, "
+            f"{stats['analyzed']} analyzed",
+            file=sys.stderr,
+        )
     if args.write_baseline:
         count = write_baseline(args.write_baseline, findings)
         print(f"wrote {count} fingerprint(s) to {args.write_baseline}")
@@ -100,6 +138,10 @@ def run_lint(args: argparse.Namespace) -> int:
             print(f"error: cannot read baseline: {exc}", file=sys.stderr)
             return 2
         findings = filter_baseline(findings, baseline)
+    if getattr(args, "sarif", None):
+        from repro.lint.sarif import write_sarif
+
+        write_sarif(args.sarif, findings)
     _report(findings, args.output_format)
     return 1 if findings else 0
 

@@ -40,8 +40,13 @@ __all__ = [
     "Finding",
     "LintContext",
     "Rule",
+    "ProgramRule",
     "register",
+    "register_program",
     "all_rules",
+    "all_program_rules",
+    "known_rule_names",
+    "resolve_selection",
     "lint_source",
     "lint_file",
     "lint_paths",
@@ -58,9 +63,10 @@ SEVERITIES = ("warning", "error")
 class Finding:
     """One diagnostic produced by a rule.
 
-    ``snippet`` is the stripped source line the finding anchors to; the
-    baseline fingerprints findings by ``(path, rule, snippet, occurrence)``
-    so they survive unrelated line drift.
+    ``snippet`` is the stripped source line the finding anchors to and
+    ``context`` its nearest non-blank neighbour lines; the baseline
+    fingerprints findings by ``(rule, snippet, context, occurrence)`` so
+    they survive unrelated line drift *and* file moves.
     """
 
     rule: str
@@ -70,6 +76,7 @@ class Finding:
     col: int
     message: str
     snippet: str = ""
+    context: str = ""
 
     def format_human(self) -> str:
         return (
@@ -86,7 +93,23 @@ class Finding:
             "col": self.col,
             "message": self.message,
             "snippet": self.snippet,
+            "context": self.context,
         }
+
+    def with_path(self, path: str) -> "Finding":
+        """Copy of this finding re-anchored to ``path`` (cache remapping)."""
+        if path == self.path:
+            return self
+        return Finding(
+            rule=self.rule,
+            severity=self.severity,
+            path=path,
+            line=self.line,
+            col=self.col,
+            message=self.message,
+            snippet=self.snippet,
+            context=self.context,
+        )
 
 
 @dataclass
@@ -106,6 +129,26 @@ class LintContext:
             return self.lines[line - 1].strip()
         return ""
 
+    def context_of(self, line: int) -> str:
+        """Nearest non-blank neighbour lines of ``line``.
+
+        This is the *content context* baseline fingerprints mix in: it
+        pins a finding to its surroundings rather than its file path, so
+        fingerprints survive file moves but not edits to the code around
+        the finding.
+        """
+
+        def nearest(start: int, step: int) -> str:
+            i = start
+            while 1 <= i <= len(self.lines):
+                text = self.lines[i - 1].strip()
+                if text:
+                    return text
+                i += step
+            return ""
+
+        return nearest(line - 1, -1) + "␞" + nearest(line + 1, 1)
+
     def finding(
         self, rule: "Rule", node: ast.AST, message: str
     ) -> Finding:
@@ -119,6 +162,7 @@ class LintContext:
             col=col,
             message=message,
             snippet=self.snippet(line),
+            context=self.context_of(line),
         )
 
 
@@ -162,7 +206,7 @@ def register(cls: type[Rule]) -> type[Rule]:
 
 
 def all_rules(select: Iterable[str] | None = None) -> list[Rule]:
-    """Instantiate registered rules, optionally restricted to ``select``."""
+    """Instantiate registered file rules, optionally restricted to ``select``."""
     # Import for side effect: rule modules self-register on first use.
     import repro.lint.rules  # noqa: F401
 
@@ -177,6 +221,86 @@ def all_rules(select: Iterable[str] | None = None) -> list[Rule]:
                 f"known: {', '.join(sorted(_REGISTRY))}"
             )
     return [_REGISTRY[n]() for n in names]
+
+
+class ProgramRule(ABC):
+    """Base class for whole-program rules.
+
+    Unlike :class:`Rule`, a program rule sees *every* analyzed module at
+    once: its :meth:`check` receives a
+    :class:`repro.lint.callgraph.Program` built from the per-file
+    communication IR (:mod:`repro.lint.ir`), so it can follow collective
+    sequences and request lifetimes across function and module
+    boundaries.  Program rules share the suppression, baseline, and
+    ``--select`` machinery with file rules.
+    """
+
+    name: str = ""
+    severity: str = "warning"
+    description: str = ""
+
+    @abstractmethod
+    def check(self, program) -> Iterable[Finding]:
+        """Yield findings for one whole program."""
+
+
+_PROGRAM_REGISTRY: dict[str, type[ProgramRule]] = {}
+
+
+def register_program(cls: type[ProgramRule]) -> type[ProgramRule]:
+    """Class decorator adding a program rule to the global registry."""
+    if not cls.name:
+        raise ValueError(f"program rule {cls.__name__} has no name")
+    if cls.severity not in SEVERITIES:
+        raise ValueError(f"rule {cls.name} has invalid severity {cls.severity!r}")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"rule name {cls.name} already taken by a file rule")
+    _PROGRAM_REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_program_rules(select: Iterable[str] | None = None) -> list[ProgramRule]:
+    """Instantiate registered program rules, optionally restricted."""
+    import repro.lint.rules  # noqa: F401
+
+    names = sorted(_PROGRAM_REGISTRY) if select is None else list(select)
+    return [_PROGRAM_REGISTRY[n]() for n in names if n in _PROGRAM_REGISTRY]
+
+
+def known_rule_names() -> list[str]:
+    """Every selectable rule name, file-level and program-level."""
+    import repro.lint.rules  # noqa: F401
+
+    return sorted(set(_REGISTRY) | set(_PROGRAM_REGISTRY))
+
+
+def resolve_selection(
+    select: Iterable[str] | None = None,
+) -> tuple[list[Rule], list[ProgramRule]]:
+    """Split a ``--select`` list into (file rules, program rules).
+
+    Raises ``ValueError`` naming the unknown entries *and* the full valid
+    rule list when any selected name matches neither registry -- a
+    misspelled ``--select`` must fail loudly, not run zero rules.
+    """
+    import repro.lint.rules  # noqa: F401
+
+    if select is None:
+        return all_rules(), all_program_rules()
+    names = list(select)
+    unknown = [
+        n for n in names if n not in _REGISTRY and n not in _PROGRAM_REGISTRY
+    ]
+    if unknown:
+        raise ValueError(
+            f"unknown rule(s) {', '.join(sorted(set(unknown)))}; "
+            f"known: {', '.join(known_rule_names())}"
+        )
+    file_rules = [_REGISTRY[n]() for n in names if n in _REGISTRY]
+    program_rules = [
+        _PROGRAM_REGISTRY[n]() for n in names if n in _PROGRAM_REGISTRY
+    ]
+    return file_rules, program_rules
 
 
 # --------------------------------------------------------------------- #
@@ -194,10 +318,40 @@ def _parse_pragma(comment: str) -> tuple[str, set[str]] | None:
     return None
 
 
+def _stmt_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """Physical line spans of multi-line statements.
+
+    For simple statements the span is ``lineno..end_lineno``; for
+    compound statements it covers only the *header* (everything before
+    the first statement of the first nested block), so a pragma inside
+    an ``if`` body never suppresses findings on the ``if`` line itself.
+    """
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.stmt, ast.excepthandler)):
+            continue
+        start = node.lineno
+        end = getattr(node, "end_lineno", None) or start
+        for block in ("body", "orelse", "finalbody", "handlers"):
+            children = getattr(node, block, None)
+            if isinstance(children, list) and children:
+                end = min(end, children[0].lineno - 1)
+        if end > start:
+            spans.append((start, end))
+    return spans
+
+
 def _collect_suppressions(
     lines: list[str],
+    tree: ast.Module | None = None,
 ) -> tuple[dict[int, set[str]], set[str]]:
-    """Per-line and file-wide suppressed rule names from pragma comments."""
+    """Per-line and file-wide suppressed rule names from pragma comments.
+
+    When ``tree`` is given, a pragma on *any* physical line of a
+    multi-line statement suppresses findings reported anywhere in that
+    statement (rules anchor findings to the statement's first line, so a
+    trailing pragma on the closing paren must still apply).
+    """
     by_line: dict[int, set[str]] = {}
     whole_file: set[str] = set()
     for lineno, line in enumerate(lines, start=1):
@@ -214,6 +368,14 @@ def _collect_suppressions(
             whole_file |= names
         else:
             by_line.setdefault(lineno, set()).update(names)
+    if tree is not None and by_line:
+        for start, end in _stmt_spans(tree):
+            collected: set[str] = set()
+            for lineno in range(start, end + 1):
+                collected |= by_line.get(lineno, set())
+            if collected:
+                for lineno in range(start, end + 1):
+                    by_line.setdefault(lineno, set()).update(collected)
     return by_line, whole_file
 
 
@@ -253,7 +415,7 @@ def lint_source(
                 snippet=ctx.snippet(exc.lineno or 1),
             )
         ]
-    by_line, whole_file = _collect_suppressions(ctx.lines)
+    by_line, whole_file = _collect_suppressions(ctx.lines, tree)
     findings: list[Finding] = []
     for rule in rules:
         if not rule.applies_to(path):
@@ -276,20 +438,47 @@ def lint_file(path: Path, rules: Iterable[Rule] | None = None) -> list[Finding]:
 
 
 def _iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield each ``.py`` file exactly once, even under overlapping paths.
+
+    ``repro-kron lint src src/repro`` must not double-report findings,
+    so files are deduplicated on their resolved absolute path (the first
+    spelling encountered wins).
+    """
+    seen: set[Path] = set()
     for p in paths:
         if p.is_dir():
-            yield from sorted(p.rglob("*.py"))
+            candidates: Iterable[Path] = sorted(p.rglob("*.py"))
         elif p.suffix == ".py":
-            yield p
+            candidates = [p]
+        else:
+            continue
+        for candidate in candidates:
+            key = candidate.resolve()
+            if key in seen:
+                continue
+            seen.add(key)
+            yield candidate
 
 
 def lint_paths(
     paths: Iterable[str | Path],
     rules: Iterable[Rule] | None = None,
 ) -> list[Finding]:
-    """Lint every ``.py`` file under the given files/directories."""
-    rules = list(rules) if rules is not None else all_rules()
-    findings: list[Finding] = []
-    for path in _iter_python_files(Path(p) for p in paths):
-        findings.extend(lint_file(path, rules=rules))
+    """Lint every ``.py`` file under the given files/directories.
+
+    With ``rules=None`` this runs the full analysis -- all file rules
+    plus the whole-program protocol rules over the communication IR of
+    every file in ``paths`` (uncached; the CLI adds the incremental
+    cache on top via :mod:`repro.lint.engine`).  Passing an explicit
+    ``rules`` list restricts the run to those file rules only.
+    """
+    if rules is not None:
+        rules = list(rules)
+        findings: list[Finding] = []
+        for path in _iter_python_files(Path(p) for p in paths):
+            findings.extend(lint_file(path, rules=rules))
+        return findings
+    from repro.lint.engine import analyze_paths
+
+    findings, _stats = analyze_paths(paths)
     return findings

@@ -1,0 +1,166 @@
+"""Incremental analysis engine: file rules + whole-program rules + cache.
+
+``analyze_paths`` is the full pipeline behind ``repro-kron lint``:
+
+1. Every ``.py`` file is read and content-hashed.  On a cache hit the
+   file's rule findings, communication IR, and suppression maps are
+   loaded from :mod:`repro.lint.cache`; on a miss the file is parsed and
+   analyzed, then stored.  Repeated runs over an unchanged tree
+   therefore re-analyze nothing -- they only re-hash.
+2. The per-file IRs are assembled into a
+   :class:`repro.lint.callgraph.Program` and the whole-program protocol
+   rules run over it.  Program analysis always runs fresh (it is cheap
+   relative to parsing, and its input is exactly the cached IRs), so
+   cross-file findings stay correct even when only *one* side of a
+   caller/callee pair changed.
+3. Program findings are filtered through each file's suppression
+   pragmas, merged with the file findings, and sorted.
+
+The cache is keyed on content, not path: findings and IR are re-anchored
+to the path the file was found at on this run, which pairs with the
+path-free baseline fingerprints (moved file == same findings).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.cache import LintCache, content_key, schema_tag
+from repro.lint.core import (
+    Finding,
+    LintContext,
+    _collect_suppressions,
+    _iter_python_files,
+    _suppressed,
+    resolve_selection,
+)
+from repro.lint.ir import IR_VERSION, ModuleIR, extract_module
+
+__all__ = ["LINT_SCHEMA_VERSION", "analyze_paths"]
+
+#: Bump when Finding shape, suppression expansion, or entry layout change.
+LINT_SCHEMA_VERSION = 1
+
+
+def _analyze_file(text: str, path: str, file_rules) -> dict:
+    """Analyze one file from scratch; returns a cache-shaped entry."""
+    import ast
+
+    ctx = LintContext(path=path, source=text)
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError as exc:
+        finding = Finding(
+            rule="parse-error", severity="error", path=path,
+            line=exc.lineno or 1, col=exc.offset or 0,
+            message=f"could not parse file: {exc.msg}",
+            snippet=ctx.snippet(exc.lineno or 1),
+        )
+        return {
+            "findings": [finding.to_json()],
+            "ir": None,
+            "suppress_lines": {},
+            "suppress_file": [],
+        }
+    by_line, whole_file = _collect_suppressions(ctx.lines, tree)
+    findings: list[Finding] = []
+    for rule in file_rules:
+        if not rule.applies_to(path):
+            continue
+        for f in rule.check(tree, ctx):
+            if not _suppressed(f, by_line, whole_file):
+                findings.append(f)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    ir = extract_module(tree, ctx.lines, path)
+    return {
+        "findings": [f.to_json() for f in findings],
+        "ir": ir.to_json(),
+        "suppress_lines": {
+            str(line): sorted(names) for line, names in by_line.items()
+        },
+        "suppress_file": sorted(whole_file),
+    }
+
+
+def _rel_path(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    select: Iterable[str] | None = None,
+    cache_dir: str | Path | None = None,
+) -> tuple[list[Finding], dict]:
+    """Run the full (file + program) analysis over ``paths``.
+
+    Returns ``(findings, stats)``; ``stats`` records how much work the
+    cache saved (``files``, ``analyzed``, ``reused``).  Passing
+    ``cache_dir=None`` disables the cache entirely.  Raises
+    ``ValueError`` for unknown names in ``select``.
+    """
+    file_rules, program_rules = resolve_selection(select)
+    cache: LintCache | None = None
+    if cache_dir is not None:
+        tag = schema_tag(
+            LINT_SCHEMA_VERSION, IR_VERSION, [r.name for r in file_rules]
+        )
+        cache = LintCache(cache_dir, tag)
+
+    findings: list[Finding] = []
+    modules: list[ModuleIR] = []
+    suppressions: dict[str, tuple[dict, set]] = {}
+    files = 0
+    reused = 0
+
+    for file_path in _iter_python_files(Path(p) for p in paths):
+        files += 1
+        data = file_path.read_bytes()
+        rel = _rel_path(file_path)
+        entry = None
+        key = ""
+        if cache is not None:
+            key = content_key(data)
+            entry = cache.get(key)
+            if entry is not None:
+                reused += 1
+        if entry is None:
+            text = data.decode("utf-8")
+            entry = _analyze_file(text, rel, file_rules)
+            if cache is not None:
+                cache.put(key, entry)
+        for item in entry["findings"]:
+            findings.append(Finding(**item).with_path(rel))
+        if entry["ir"] is not None:
+            mod = ModuleIR.from_json(entry["ir"])
+            mod.path = rel
+            modules.append(mod)
+        suppressions[rel] = (
+            {
+                int(line): set(names)
+                for line, names in entry["suppress_lines"].items()
+            },
+            set(entry["suppress_file"]),
+        )
+
+    if program_rules and modules:
+        from repro.lint.callgraph import Program
+
+        program = Program(modules)
+        for rule in program_rules:
+            for f in rule.check(program):
+                by_line, whole_file = suppressions.get(f.path, ({}, set()))
+                if not _suppressed(f, by_line, whole_file):
+                    findings.append(f)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    stats = {
+        "files": files,
+        "reused": reused,
+        "analyzed": files - reused,
+        "cache": cache_dir is not None,
+    }
+    return findings, stats

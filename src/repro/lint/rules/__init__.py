@@ -1,7 +1,8 @@
-"""The six SPMD rule families.
+"""The SPMD rule families.
 
-Importing this package registers every rule with the framework registry
-(:func:`repro.lint.core.register`):
+Importing this package registers every rule with the framework
+registries (:func:`repro.lint.core.register` for file rules,
+:func:`repro.lint.core.register_program` for whole-program rules):
 
 ``collective-symmetry`` (error)
     collectives reachable only under rank-dependent control flow deadlock
@@ -24,12 +25,29 @@ Importing this package registers every rule with the framework registry
     :mod:`repro.telemetry.clock`, not ``time.time()`` /
     ``time.perf_counter()`` directly, so traces stay deterministic
     under a fake clock.
+
+Whole-program rules (run over the communication IR of every analyzed
+file at once; see :mod:`repro.lint.ir` and :mod:`repro.lint.callgraph`):
+
+``protocol-divergence`` (error)
+    a rank-guarded call reaches a collective down its call chain.
+``protocol-leak`` (error)
+    a nonblocking request is discarded, rebound, or left in flight on
+    some path.
+``protocol-inflight`` (error)
+    a buffer put in flight through a helper is mutated before the
+    request completes.
 """
 
 from repro.lint.rules.buffers import BufferOwnershipRule
 from repro.lint.rules.collectives import CollectiveSymmetryRule
 from repro.lint.rules.determinism import DeterminismRule
 from repro.lint.rules.dtypes import DtypeOverflowRule
+from repro.lint.rules.protocol import (
+    ProtocolDivergenceRule,
+    ProtocolInflightRule,
+    ProtocolLeakRule,
+)
 from repro.lint.rules.timeouts import TimeoutLiteralRule
 from repro.lint.rules.wallclock import WallClockRule
 
@@ -40,4 +58,7 @@ __all__ = [
     "DeterminismRule",
     "TimeoutLiteralRule",
     "WallClockRule",
+    "ProtocolDivergenceRule",
+    "ProtocolLeakRule",
+    "ProtocolInflightRule",
 ]

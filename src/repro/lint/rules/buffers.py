@@ -30,22 +30,13 @@ from typing import Iterable
 from repro.lint.core import Finding, LintContext, Rule, register
 from repro.lint.rules.common import (
     INFLIGHT_OPS,
+    MUTATOR_METHODS as _MUTATORS,
     RECEIVING_OPS,
     base_name,
     call_method,
 )
 
 __all__ = ["BufferOwnershipRule", "InflightBufferRule"]
-
-#: Method names that mutate their receiver in place (ndarray / list /
-#: dict / set mutators that matter for message payloads).
-_MUTATORS = frozenset(
-    {
-        "sort", "fill", "resize", "put", "itemset", "partition", "byteswap",
-        "setflags", "append", "extend", "insert", "remove", "pop", "clear",
-        "update", "reverse", "setdefault", "popitem", "add", "discard",
-    }
-)
 
 
 def _recv_op(value: ast.expr) -> str | None:

@@ -1,0 +1,507 @@
+"""Whole-program SPMD protocol rules.
+
+Three interprocedural rules over the :class:`repro.lint.callgraph.Program`
+built from the communication IR:
+
+``protocol-divergence``
+    A rank-guarded (or rank-divergent) *call* reaches a collective
+    somewhere down the call chain.  The file-local
+    ``collective-symmetry`` rule already flags guarded collectives in
+    the same function body; this rule covers the cases it cannot see --
+    ``if rank == 0: checkpoint(comm)`` where ``checkpoint`` gathers.
+
+``protocol-leak``
+    A nonblocking start whose request is never completed on some path:
+    discarded outright, rebound while still in flight, alive at function
+    exit, or stored on an attribute that no function ever waits on.
+    Requests that escape to the caller (returned) are the caller's
+    obligation and tracked there via function summaries.
+
+``protocol-inflight``
+    A buffer put in flight *through a helper* (the helper starts a
+    nonblocking op on its parameter and returns the request) is mutated
+    in the caller before the request completes.  The file-local
+    ``inflight-buffer`` rule covers the same-function case; this rule
+    generalizes it across function boundaries.
+
+All three run off a shared abstract interpretation of request states.
+Each tracked request name holds a *possibility set* drawn from
+``{NONE, INFLIGHT, DONE}``; branches fork the environment, ``x is not
+None`` tests refine it, joins union it, and loop bodies iterate to a
+fixpoint.  A leak is reported only when ``INFLIGHT`` is still possible
+where an obligation ends -- so the canonical double-buffered pipeline
+(``pending = None``; finish-if-not-None; restart; drain after the loop)
+analyzes clean.
+
+Soundness caveats (see DESIGN.md): requests passed to unresolved calls
+are optimistically released; starts nested inside lambdas or
+comprehensions carry no obligation; ``raise``/``break``/``continue`` end
+a path without a leak check; attribute-stored requests are matched by
+attribute name program-wide, not per object.
+"""
+
+from __future__ import annotations
+
+from repro.lint.callgraph import Program, Summary, flatten
+from repro.lint.core import Finding, ProgramRule, register_program
+from repro.lint.ir import (
+    AliasNode,
+    BindNoneNode,
+    CallNode,
+    ExitNode,
+    FuncIR,
+    IfNode,
+    LoopNode,
+    ModuleIR,
+    MutateNode,
+    OpNode,
+    RebindNode,
+    ReturnNode,
+    TryNode,
+)
+
+__all__ = [
+    "ProtocolDivergenceRule",
+    "ProtocolLeakRule",
+    "ProtocolInflightRule",
+]
+
+NONE, INFLIGHT, DONE = "none", "inflight", "done"
+
+_LOOP_CAP = 8  # fixpoint rounds before giving up on a loop body
+
+
+# --------------------------------------------------------------------- #
+# request-state interpretation (shared by leak + inflight rules)
+# --------------------------------------------------------------------- #
+class _Cell:
+    """Abstract state of one request value; aliases share the cell."""
+
+    __slots__ = ("statuses", "origin", "buffers")
+
+    def __init__(self, statuses, origin, buffers=frozenset()):
+        self.statuses = set(statuses)
+        self.origin = origin  # originating OpNode/CallNode, for messages
+        self.buffers = set(buffers)
+
+    def copy(self) -> "_Cell":
+        return _Cell(self.statuses, self.origin, self.buffers)
+
+
+def _copy_env(env: dict) -> dict:
+    """Copy an environment preserving intra-env aliasing."""
+    mapping: dict[int, _Cell] = {}
+    out = {}
+    for name, cell in env.items():
+        clone = mapping.get(id(cell))
+        if clone is None:
+            clone = mapping[id(cell)] = cell.copy()
+        out[name] = clone
+    return out
+
+
+def _join_env(a: dict | None, b: dict | None) -> dict | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    out = {}
+    for name in set(a) | set(b):
+        ca, cb = a.get(name), b.get(name)
+        if ca is None or cb is None:
+            cell = (ca or cb).copy()
+            # The name is untracked on the other branch: anything may
+            # have happened to it there.
+            cell.statuses.add(DONE)
+            out[name] = cell
+        else:
+            origin = ca.origin if INFLIGHT in ca.statuses else cb.origin
+            out[name] = _Cell(
+                ca.statuses | cb.statuses, origin, ca.buffers | cb.buffers
+            )
+    return out
+
+
+def _env_signature(env: dict | None):
+    if env is None:
+        return None
+    return tuple(
+        sorted(
+            (name, tuple(sorted(c.statuses)), tuple(sorted(c.buffers)))
+            for name, c in env.items()
+        )
+    )
+
+
+class _Interp:
+    """Interpret one function body, collecting leak/inflight findings."""
+
+    def __init__(self, program: Program, mod: ModuleIR, fn: FuncIR) -> None:
+        self.program = program
+        self.mod = mod
+        self.fn = fn
+        self.findings: dict[tuple, tuple] = {}  # dedupe across loop rounds
+
+    # -- findings ---------------------------------------------------------
+    def _flag(self, rule: str, node, message: str) -> None:
+        key = (rule, node.line, node.col, message)
+        self.findings.setdefault(
+            key, (rule, node.line, node.col, node.snippet, node.context, message)
+        )
+
+    def _leak(self, node, origin, why: str) -> None:
+        op = origin.op if isinstance(origin, OpNode) else "call"
+        label = (
+            f"request from '{op}' (line {origin.line})"
+            if origin is not node
+            else f"request from '{op}'"
+        )
+        self._flag("protocol-leak", node, f"{label} {why}")
+
+    # -- environment operations -------------------------------------------
+    def _clear_buffer(self, env: dict, name: str) -> None:
+        """A rebind of ``name`` detaches it from any in-flight buffer:
+        mutations now act on a different object."""
+        for cell in env.values():
+            cell.buffers.discard(name)
+
+    def _kill(self, env: dict, node, names) -> None:
+        """Rebinding names: any still-in-flight request they held leaks."""
+        for name in names:
+            if "." in name:
+                continue
+            cell = env.pop(name, None)
+            if cell is not None and INFLIGHT in cell.statuses:
+                self._leak(
+                    node, cell.origin,
+                    f"is rebound at '{name}' while still in flight",
+                )
+            self._clear_buffer(env, name)
+
+    def _release(self, env: dict, name: str) -> None:
+        cell = env.get(name)
+        if cell is not None:
+            cell.statuses = {DONE}
+            cell.buffers.clear()
+
+    def _end_of_path(self, env: dict, node, *, escaped: str | None = None) -> None:
+        """A return (or fall-off-the-end): every tracked request that may
+        still be in flight -- other than the one escaping -- leaks."""
+        seen: set[int] = set()
+        for name, cell in env.items():
+            if name == escaped or id(cell) in seen:
+                continue
+            seen.add(id(cell))
+            if INFLIGHT in cell.statuses:
+                self._leak(
+                    node, cell.origin,
+                    f"bound to '{name}' is not completed on this path",
+                )
+
+    # -- node dispatch ----------------------------------------------------
+    def run(self) -> None:
+        env = self._block(self.fn.body, {})
+        if env is not None:
+            terminal = self.fn.body[-1] if self.fn.body else None
+            if terminal is not None:
+                self._end_of_path(env, _last_node(self.fn.body))
+
+    def _block(self, nodes: list, env: dict | None) -> dict | None:
+        for node in nodes:
+            if env is None:
+                return None
+            env = self._node(node, env)
+        return env
+
+    def _node(self, node, env: dict) -> dict | None:
+        if isinstance(node, OpNode):
+            self._op(node, env)
+        elif isinstance(node, CallNode):
+            self._call(node, env)
+        elif isinstance(node, AliasNode):
+            if node.target != node.source:
+                cell = env.get(node.source)
+                self._kill(env, node, (node.target,))
+                if cell is not None:
+                    env[node.target] = cell
+                for other in env.values():
+                    # Aliasing an in-flight buffer: mutating either name
+                    # now mutates the frozen payload.
+                    if node.source in other.buffers:
+                        other.buffers.add(node.target)
+        elif isinstance(node, BindNoneNode):
+            self._kill(env, node, node.targets)
+            for name in node.targets:
+                if "." not in name:
+                    env[name] = _Cell({NONE}, node)
+        elif isinstance(node, RebindNode):
+            self._kill(env, node, node.targets)
+        elif isinstance(node, MutateNode):
+            self._mutate(node, env)
+        elif isinstance(node, ReturnNode):
+            self._end_of_path(env, node, escaped=node.value_root)
+            return None
+        elif isinstance(node, ExitNode):
+            return None
+        elif isinstance(node, IfNode):
+            return self._if(node, env)
+        elif isinstance(node, LoopNode):
+            return self._loop(node, env)
+        elif isinstance(node, TryNode):
+            return self._try(node, env)
+        return env
+
+    def _op(self, node: OpNode, env: dict) -> None:
+        if node.kind == "start":
+            if node.escape is None and not node.binds:
+                self._flag(
+                    "protocol-leak", node,
+                    f"request from '{node.op}' is discarded -- it can "
+                    f"never be completed",
+                )
+                return
+            for bind in node.binds:
+                if "." in bind:
+                    attr = bind.rsplit(".", 1)[-1]
+                    if attr not in self.program.attr_releases:
+                        self._flag(
+                            "protocol-leak", node,
+                            f"request from '{node.op}' is stored on "
+                            f"attribute '{bind}' but no function ever "
+                            f"completes '{attr}'",
+                        )
+                else:
+                    self._kill(env, node, (bind,))
+                    env[bind] = _Cell({INFLIGHT}, node)
+        elif node.kind == "finish":
+            request = node.request
+            if request and "." not in request:
+                self._release(env, request)
+            for bind in node.binds:
+                if "." not in bind:
+                    self._kill(env, node, (bind,))
+
+    def _call(self, node: CallNode, env: dict) -> None:
+        resolved = self.program.resolve(self.mod, self.fn, node.callee)
+        summary = Summary()
+        offset = 0
+        if resolved is not None:
+            cmod, callee, offset = resolved
+            summary = self.program.summary_of(cmod, callee)
+        arg_buffers: set[str] = set()
+        for i, roots in enumerate(node.argroots):
+            for root in roots:
+                cell = env.get(root)
+                if cell is not None and INFLIGHT in cell.statuses:
+                    if resolved is None or (i + offset) in summary.finishes_params:
+                        # Unresolved callees are optimistically assumed
+                        # to complete any request handed to them.
+                        self._release(env, root)
+                if resolved is not None and (i + offset) in summary.starts_on_params:
+                    arg_buffers.add(root)
+        if node.binds:
+            self._kill(env, node, node.binds)
+            if summary.returns_request:
+                cell = _Cell({INFLIGHT}, node, frozenset(arg_buffers))
+                for bind in node.binds:
+                    if "." not in bind:
+                        env[bind] = cell
+        elif node.escape is None and summary.returns_request:
+            self._flag(
+                "protocol-leak", node,
+                f"call to '{'.'.join(node.callee)}' returns an in-flight "
+                f"request that is discarded -- it can never be completed",
+            )
+
+    def _mutate(self, node: MutateNode, env: dict) -> None:
+        seen: set[int] = set()
+        for name, cell in env.items():
+            if id(cell) in seen:
+                continue
+            seen.add(id(cell))
+            if INFLIGHT in cell.statuses and node.name in cell.buffers:
+                origin = cell.origin
+                self._flag(
+                    "protocol-inflight", node,
+                    f"{node.how} '{node.name}' while it is in flight: the "
+                    f"request started at line {origin.line} has not been "
+                    f"completed",
+                )
+
+    def _if(self, node: IfNode, env: dict) -> dict | None:
+        then_env = _copy_env(env)
+        else_env = _copy_env(env)
+        then_dead = else_dead = False
+        if node.refine is not None:
+            name, sense = node.refine
+            non_none, is_none = (then_env, else_env) if sense else (
+                else_env, then_env
+            )
+            cell = non_none.get(name)
+            if cell is not None:
+                cell.statuses.discard(NONE)
+                if not cell.statuses:
+                    if sense:
+                        then_dead = True
+                    else:
+                        else_dead = True
+            cell = is_none.get(name)
+            if cell is not None:
+                if NONE in cell.statuses:
+                    cell.statuses = {NONE}
+                    cell.buffers.clear()
+                else:
+                    if sense:
+                        else_dead = True
+                    else:
+                        then_dead = True
+        then_out = None if then_dead else self._block(node.then, then_env)
+        else_out = None if else_dead else self._block(node.orelse, else_env)
+        return _join_env(then_out, else_out)
+
+    def _loop(self, node: LoopNode, env: dict) -> dict | None:
+        state = env
+        for _ in range(_LOOP_CAP):
+            out = self._block(node.body, _copy_env(state))
+            joined = _join_env(state, out)
+            if joined is None:
+                break
+            if _env_signature(joined) == _env_signature(state):
+                state = joined
+                break
+            state = joined
+        if state is None:
+            return None
+        return self._block(node.orelse, state)
+
+    def _try(self, node: TryNode, env: dict) -> dict | None:
+        body_out = self._block(node.body, _copy_env(env))
+        outs = [body_out]
+        for handler in node.handlers:
+            outs.append(self._block(handler, _copy_env(env)))
+        if body_out is not None:
+            outs.append(self._block(node.orelse, _copy_env(body_out)))
+            outs.pop(0)
+        joined = None
+        for out in outs:
+            joined = _join_env(joined, out)
+        if node.final:
+            if joined is None:
+                joined = _copy_env(env)
+            return self._block(node.final, joined)
+        return joined
+
+
+def _last_node(nodes: list):
+    return nodes[-1]
+
+
+def _interp_findings(program: Program) -> list[tuple]:
+    """Run the request-state interpretation once per program; results
+    are shared between the leak and inflight rules via scratch space."""
+    cached = program.scratch.get("protocol-interp")
+    if cached is not None:
+        return cached
+    results: list[tuple] = []  # (rule, path, line, col, snippet, ctx, msg)
+    for mod, fn in program.iter_functions():
+        interp = _Interp(program, mod, fn)
+        interp.run()
+        for rule, line, col, snippet, context, message in interp.findings.values():
+            results.append((rule, mod.path, line, col, snippet, context, message))
+    results.sort(key=lambda r: (r[1], r[2], r[3], r[0]))
+    program.scratch["protocol-interp"] = results
+    return results
+
+
+def _finding(rule, severity, item) -> Finding:
+    _, path, line, col, snippet, context, message = item
+    return Finding(
+        rule=rule, severity=severity, path=path, line=line, col=col,
+        message=message, snippet=snippet, context=context,
+    )
+
+
+# --------------------------------------------------------------------- #
+# rules
+# --------------------------------------------------------------------- #
+@register_program
+class ProtocolDivergenceRule(ProgramRule):
+    """Rank-guarded call chains must not reach collectives."""
+
+    name = "protocol-divergence"
+    severity = "error"
+    description = (
+        "a call executed only by some ranks reaches a collective "
+        "operation down its call chain; the excluded ranks never enter "
+        "it and every rank inside blocks forever"
+    )
+
+    def check(self, program: Program):
+        for mod, fn in program.iter_functions():
+            for node in flatten(fn.body):
+                if not isinstance(node, CallNode) or node.guard == "all":
+                    continue
+                resolved = program.resolve(mod, fn, node.callee)
+                if resolved is None:
+                    continue
+                cmod, callee, _ = resolved
+                summary = program.summary_of(cmod, callee)
+                if not summary.has_collective:
+                    continue
+                op, site_path, site_line = summary.collective_site or (
+                    "?", cmod.path, callee.line,
+                )
+                if node.guard == "guarded":
+                    how = f"is rank-guarded (guard at line {node.guard_line})"
+                else:
+                    how = (
+                        f"runs after a rank-dependent early exit "
+                        f"(line {node.guard_line})"
+                    )
+                yield Finding(
+                    rule=self.name, severity=self.severity, path=mod.path,
+                    line=node.line, col=node.col,
+                    message=(
+                        f"call to '{'.'.join(node.callee)}' {how} but "
+                        f"executes collective '{op}' "
+                        f"({site_path}:{site_line}); ranks outside the "
+                        f"guard never reach it -- possible deadlock"
+                    ),
+                    snippet=node.snippet, context=node.context,
+                )
+
+
+@register_program
+class ProtocolLeakRule(ProgramRule):
+    """Every nonblocking start must be completed on every path."""
+
+    name = "protocol-leak"
+    severity = "error"
+    description = (
+        "a nonblocking request is discarded, rebound, or still in "
+        "flight at function exit on some path, so the transfer is "
+        "never completed"
+    )
+
+    def check(self, program: Program):
+        for item in _interp_findings(program):
+            if item[0] == self.name:
+                yield _finding(self.name, self.severity, item)
+
+
+@register_program
+class ProtocolInflightRule(ProgramRule):
+    """Buffers handed to a helper-started request stay frozen until
+    the request completes."""
+
+    name = "protocol-inflight"
+    severity = "error"
+    description = (
+        "a buffer put in flight through a helper's nonblocking start "
+        "is mutated before the returned request is completed"
+    )
+
+    def check(self, program: Program):
+        for item in _interp_findings(program):
+            if item[0] == self.name:
+                yield _finding(self.name, self.severity, item)

@@ -15,7 +15,14 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["splitmix64", "hash_pair", "edge_uniform", "EdgeHasher"]
+__all__ = [
+    "splitmix64",
+    "splitmix64_int",
+    "mix_tokens",
+    "hash_pair",
+    "edge_uniform",
+    "EdgeHasher",
+]
 
 _GOLDEN = np.uint64(0x9E3779B97F4A7C15)
 _MIX1 = np.uint64(0xBF58476D1CE4E5B9)
@@ -44,6 +51,37 @@ def splitmix64(x: np.ndarray | int) -> np.ndarray:
         z = (z ^ (z >> np.uint64(27))) * _MIX2
         z = z ^ (z >> np.uint64(31))
     return z
+
+
+_MASK64 = (1 << 64) - 1
+
+
+def splitmix64_int(x: int) -> int:
+    """Scalar, pure-Python splitmix64 finalizer (no numpy round trip).
+
+    Bit-identical to :func:`splitmix64` on the same input; used where a
+    cheap deterministic 64-bit mix of small Python integers is needed
+    (e.g. the lint cache's schema tags) without paying array overhead.
+    """
+    z = (x + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def mix_tokens(tokens: "list[str] | tuple[str, ...]", seed: int = 0) -> int:
+    """Order-sensitive 64-bit digest of a token sequence.
+
+    Chains :func:`splitmix64_int` over the UTF-8 bytes of each token --
+    a deterministic, dependency-free fingerprint for cache keys and
+    schema tags.
+    """
+    h = splitmix64_int(seed)
+    for token in tokens:
+        for b in token.encode("utf-8"):
+            h = splitmix64_int(h ^ b)
+        h = splitmix64_int(h ^ len(token))
+    return h
 
 
 def hash_pair(

@@ -1,0 +1,15 @@
+"""BAD: mutating an in-flight buffer through an alias.
+
+``scratch`` is the same object as ``outgoing``; clearing it while the
+exchange is in flight corrupts the payload.  Expected:
+protocol-inflight at the ``clear`` call.
+"""
+
+from proto_helpers import begin_exchange, end_exchange
+
+
+def run(comm, outgoing):
+    pending = begin_exchange(comm, outgoing)
+    scratch = outgoing
+    scratch.clear()
+    return end_exchange(comm, pending)

@@ -1,0 +1,17 @@
+"""BAD: a request stored on an attribute that nothing ever completes.
+
+No method in the whole program waits on ``_orphan``, so the send can
+never finish.  Expected: protocol-leak at the start.
+"""
+
+
+class Sender:
+    def __init__(self, comm):
+        self.comm = comm
+        self._orphan = None
+
+    def post(self, payload, dest):
+        self._orphan = self.comm.isend(payload, dest)
+
+    def status(self):
+        return self._orphan is not None

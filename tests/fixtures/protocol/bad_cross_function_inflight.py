@@ -1,0 +1,16 @@
+"""BAD: mutating a buffer that a *helper* put in flight.
+
+``begin_exchange`` starts an alltoall on its parameter and returns the
+request, so the caller's ``outgoing`` is owned by the runtime until the
+finish -- but the caller appends to it first.  The file-local
+inflight-buffer rule cannot see this: the start is in another function
+(and another module).  Expected: protocol-inflight at the ``append``.
+"""
+
+from proto_helpers import begin_exchange, end_exchange
+
+
+def run(comm, outgoing):
+    pending = begin_exchange(comm, outgoing)
+    outgoing.append([9, 9])
+    return end_exchange(comm, pending)

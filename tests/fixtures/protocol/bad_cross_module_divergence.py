@@ -1,0 +1,15 @@
+"""BAD: the collective hides behind a *cross-module* import.
+
+``sync_counts`` lives in ``proto_helpers`` and allreduces; calling it
+under a rank guard diverges the world.  Expected: protocol-divergence
+at the ``sync_counts(...)`` call.
+"""
+
+from proto_helpers import sync_counts
+
+
+def run(comm, counts):
+    if comm.rank == 0:
+        total = sync_counts(comm, counts)
+        return total
+    return None

@@ -1,0 +1,18 @@
+"""BAD: fire-and-forget nonblocking sends.
+
+The isend request is dropped on the floor, so the transfer can never be
+completed; the helper variant leaks the request a frame up, through a
+discarded return value.  Expected: protocol-leak at both call sites.
+"""
+
+
+def fire_and_forget(comm, payload, dest):
+    comm.isend(payload, dest)
+
+
+def begin(comm, payload, dest):
+    return comm.isend(payload, dest)
+
+
+def discard_helper_request(comm, payload, dest):
+    begin(comm, payload, dest)

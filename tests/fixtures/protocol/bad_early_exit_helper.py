@@ -1,0 +1,17 @@
+"""BAD: after a rank-dependent early return, a helper collective runs.
+
+Ranks other than 0 return at the guard; the survivors then block in the
+helper's barrier forever.  Expected: protocol-divergence at the
+``finalize(...)`` call.
+"""
+
+
+def finalize(comm):
+    comm.barrier()
+
+
+def run(comm, edges):
+    if comm.rank != 0:
+        return edges
+    finalize(comm)
+    return edges

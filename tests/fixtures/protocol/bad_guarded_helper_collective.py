@@ -1,0 +1,17 @@
+"""BAD: a rank-guarded call reaches a collective one frame down.
+
+The guard is invisible to the file-local collective-symmetry rule
+because ``checkpoint`` itself is symmetric -- only the *call* diverges.
+Expected: protocol-divergence at the ``checkpoint(...)`` call.
+"""
+
+
+def checkpoint(comm, edges):
+    gathered = comm.gather(edges, root=0)
+    return gathered
+
+
+def run(comm, edges):
+    if comm.rank == 0:
+        checkpoint(comm, edges)
+    return edges

@@ -1,0 +1,11 @@
+"""BAD: the request variable is rebound while still in flight.
+
+The first round's request is overwritten by the second start without
+ever being waited on.  Expected: protocol-leak at the rebinding start.
+"""
+
+
+def double_start(comm, first, second, dest):
+    req = comm.isend(first, dest)
+    req = comm.isend(second, dest)
+    req.wait()

@@ -1,0 +1,22 @@
+"""GOOD: rank-guarded *point-to-point* helpers are legitimate.
+
+Sends and receives are naturally asymmetric; only collectives must be
+entered by every rank.  Expected: no findings.
+"""
+
+
+def push(comm, payload, dest):
+    comm.send(payload, dest)
+
+
+def pull(comm, src):
+    return comm.recv(src)
+
+
+def run(comm, payload):
+    if comm.rank == 0:
+        push(comm, payload, 1)
+        return None
+    if comm.rank == 1:
+        return pull(comm, 0)
+    return None

@@ -1,0 +1,23 @@
+"""GOOD: the double-buffered pipeline the real generator uses.
+
+``pending`` starts as None, is finished-if-set at the top of each round,
+restarted, and drained after the loop.  Requires None-refinement, loop
+fixpointing, and helper summaries to analyze clean.  Expected: no
+findings.
+"""
+
+from proto_helpers import begin_exchange, end_exchange
+
+
+def run(comm, rounds):
+    pending = None
+    outgoing = [[1], [2]]
+    received = []
+    for _ in range(rounds):
+        if pending is not None:
+            received.extend(end_exchange(comm, pending))
+        pending = begin_exchange(comm, outgoing)
+        outgoing = [[3], [4]]
+    if pending is not None:
+        received.extend(end_exchange(comm, pending))
+    return received

@@ -1,0 +1,15 @@
+"""GOOD: rebinding a buffer name detaches it from the in-flight payload.
+
+After ``outgoing = ...`` the name refers to a fresh object; mutating it
+cannot corrupt the transfer still in flight under the old object.
+Expected: no findings.
+"""
+
+from proto_helpers import begin_exchange, end_exchange
+
+
+def run(comm, outgoing):
+    pending = begin_exchange(comm, outgoing)
+    outgoing = [[5], [6]]
+    outgoing.append([7])
+    return end_exchange(comm, pending)

@@ -1,0 +1,19 @@
+"""GOOD: a request returned through two frames, completed at the top.
+
+Each layer returning the request transfers the completion obligation to
+its caller; the outermost caller waits.  Expected: no findings.
+"""
+
+
+def begin(comm, payload, dest):
+    return comm.isend(payload, dest)
+
+
+def begin_logged(comm, payload, dest):
+    req = begin(comm, payload, dest)
+    return req
+
+
+def run(comm, payload, dest):
+    req = begin_logged(comm, payload, dest)
+    req.wait()

@@ -1,0 +1,14 @@
+"""GOOD: the canonical split-phase pair through cross-module helpers.
+
+The request from ``begin_exchange`` is handed to ``end_exchange`` before
+the buffer is touched again.  Expected: no findings.
+"""
+
+from proto_helpers import begin_exchange, end_exchange
+
+
+def run(comm, outgoing):
+    pending = begin_exchange(comm, outgoing)
+    incoming = end_exchange(comm, pending)
+    outgoing.clear()
+    return incoming

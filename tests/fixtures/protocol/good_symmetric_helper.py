@@ -1,0 +1,17 @@
+"""GOOD: every rank calls the collective-bearing helper unconditionally.
+
+Only the *result handling* is rank-guarded, which is fine.  Expected:
+no findings.
+"""
+
+
+def checkpoint(comm, edges):
+    gathered = comm.gather(edges, root=0)
+    return gathered
+
+
+def run(comm, edges):
+    gathered = checkpoint(comm, edges)
+    if comm.rank == 0:
+        return gathered
+    return None

@@ -45,6 +45,20 @@ class TestExitCodes:
     def test_unknown_rule_exit_2(self, tmp_path):
         assert lint_main([str(tmp_path), "--select", "bogus"]) == 2
 
+    def test_unknown_rule_message_lists_program_rules(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path), "--select", "protocol-typo"]) == 2
+        err = capsys.readouterr().err
+        assert "protocol-typo" in err
+        assert "protocol-divergence" in err
+
+    def test_select_program_rule_only(self, bad_tree, capsys):
+        # The file-rule findings in bad_tree are excluded by the select;
+        # the guarded barrier is intra-function, so no program finding
+        # either -> clean.
+        assert lint_main(
+            [str(bad_tree), "--select", "protocol-divergence", "--no-cache"]
+        ) == 0
+
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
@@ -53,6 +67,9 @@ class TestExitCodes:
             "buffer-ownership",
             "dtype-overflow",
             "determinism",
+            "protocol-divergence",
+            "protocol-leak",
+            "protocol-inflight",
         ):
             assert rule in out
 
@@ -113,6 +130,70 @@ class TestBaseline:
         broken = tmp_path / "broken.json"
         broken.write_text("{not json")
         assert lint_main([str(bad_tree), "--baseline", str(broken)]) == 2
+
+
+class TestSuppressionSpans:
+    def test_pragma_on_any_line_of_statement(self, tmp_path):
+        # The finding anchors to the statement's first line, but the
+        # pragma sits on the closing-paren line: it must still apply.
+        (tmp_path / "multi.py").write_text(
+            "def f(comm, edges):\n"
+            "    if comm.rank == 0:\n"
+            "        comm.gather(\n"
+            "            edges,\n"
+            "            root=0,\n"
+            "        )  # repro-lint: disable=collective-symmetry\n"
+        )
+        assert lint_paths([tmp_path]) == []
+
+    def test_pragma_in_body_does_not_cover_header(self, tmp_path):
+        # A pragma on a statement *inside* the if must not silence the
+        # finding reported on the guarded collective itself.
+        (tmp_path / "multi.py").write_text(
+            "def f(comm, edges):\n"
+            "    if comm.rank == 0:\n"
+            "        comm.barrier()\n"
+            "        x = 1  # repro-lint: disable=collective-symmetry\n"
+        )
+        assert [f.rule for f in lint_paths([tmp_path])] == [
+            "collective-symmetry"
+        ]
+
+
+class TestOverlappingPaths:
+    def test_nested_paths_do_not_duplicate(self, bad_tree):
+        once = lint_paths([bad_tree])
+        twice = lint_paths([bad_tree, bad_tree / "distributed"])
+        assert [f.to_json() for f in twice] == [f.to_json() for f in once]
+
+
+class TestBaselineMoveStability:
+    def test_moved_file_stays_baselined(self, bad_tree, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, lint_paths([bad_tree]))
+        pkg = bad_tree / "distributed"
+        (pkg / "nested").mkdir()
+        (pkg / "bad.py").rename(pkg / "nested" / "bad.py")
+        fresh = filter_baseline(
+            lint_paths([bad_tree]), load_baseline(baseline)
+        )
+        assert fresh == []
+
+    def test_editing_the_line_surfaces_it(self, bad_tree, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, lint_paths([bad_tree]))
+        bad = bad_tree / "distributed" / "bad.py"
+        bad.write_text(bad.read_text().replace("comm.barrier()", "comm.barrier()  ; pass"))
+        fresh = filter_baseline(
+            lint_paths([bad_tree]), load_baseline(baseline)
+        )
+        assert any(f.rule == "collective-symmetry" for f in fresh)
+
+    def test_old_version_rejected(self, tmp_path):
+        stale = tmp_path / "v1.json"
+        stale.write_text(json.dumps({"version": 1, "findings": []}))
+        with pytest.raises(ValueError, match="regenerate"):
+            load_baseline(stale)
 
 
 class TestRepoIsClean:
