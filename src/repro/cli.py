@@ -12,6 +12,7 @@ Kronecker graph", plus ground-truth and validation commands::
     repro-kron lint src --baseline lint-baseline.json   # SPMD static analysis
     repro-kron chaos --ranks 4 --seed 0           # seeded fault-injection matrix
     repro-kron trace --ranks 8 --out trace.json   # traced generation (Perfetto)
+    repro-kron serve-rendezvous --port 9310       # roster server for --backend socket
 
 Factor files are detected by extension: ``.txt``/``.tsv``/``.el`` (edge
 list), ``.npz`` (binary), ``.mtx``/``.mm`` (Matrix Market).
@@ -48,6 +49,35 @@ def load_factor(path: str) -> EdgeList:
     raise GraphFormatError(f"unrecognized factor file extension: {path}")
 
 
+def _parse_rank_set(spec: str | None, nranks: int) -> tuple[int, ...] | None:
+    """Parse a ``--local-ranks`` spec: comma-separated ranks and ranges.
+
+    ``"0-3"`` -> (0, 1, 2, 3); ``"0,2,5"`` -> (0, 2, 5); ``None`` -> None
+    (this invocation launches the whole world).
+    """
+    if spec is None:
+        return None
+    ranks: list[int] = []
+    try:
+        for part in spec.split(","):
+            lo, sep, hi = part.partition("-")
+            if sep:
+                ranks.extend(range(int(lo), int(hi) + 1))
+            else:
+                ranks.append(int(part))
+    except ValueError as exc:
+        raise ReproError(
+            f"--local-ranks {spec!r}: expected ranks/ranges like "
+            f"'0-3' or '0,2,5'"
+        ) from exc
+    out = tuple(sorted(set(ranks)))
+    if not out or out[0] < 0 or out[-1] >= nranks:
+        raise ReproError(
+            f"--local-ranks {spec!r} is outside the world 0..{nranks - 1}"
+        )
+    return out
+
+
 def _prepare(el: EdgeList, args: argparse.Namespace) -> EdgeList:
     """Apply the standard preprocessing flags."""
     if getattr(args, "symmetrize", False):
@@ -69,6 +99,8 @@ def cmd_generate(args: argparse.Namespace) -> int:
     manifest = generate_to_directory(
         a, b, args.out, args.ranks, scheme=args.scheme,
         backend=args.backend, chunk_size=args.chunk_size,
+        rendezvous=args.rendezvous,
+        local_ranks=_parse_rank_set(args.local_ranks, args.ranks),
     )
     print(
         f"generated {manifest.edges_total} directed edges "
@@ -155,8 +187,13 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
     With no factor files, a small built-in pair (K4 (x) C5) keeps the run
     fast enough for CI while still routing edges across every rank pair.
+    ``--plan-set socket`` swaps in the TCP fault plans (disconnects,
+    partitions, slow peers); pair it with ``--backends socket``.
     """
-    from repro.distributed.faults import default_fault_matrix
+    from repro.distributed.faults import (
+        default_fault_matrix,
+        socket_fault_matrix,
+    )
     from repro.distributed.supervisor import run_chaos_matrix
 
     if args.factor_a and args.factor_b:
@@ -166,11 +203,16 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         from repro.graph.generators import clique, cycle
 
         a, b = clique(4), cycle(5)
+    plans = []
+    if args.plan_set in ("default", "both"):
+        plans += default_fault_matrix(seed=args.seed, nranks=args.ranks)
+    if args.plan_set in ("socket", "both"):
+        plans += socket_fault_matrix(seed=args.seed, nranks=args.ranks)
     report = run_chaos_matrix(
         a,
         b,
         args.ranks,
-        plans=default_fault_matrix(seed=args.seed, nranks=args.ranks),
+        plans=plans,
         backends=tuple(args.backends.split(",")),
         routings=tuple(args.routings.split(",")),
         scheme=args.scheme,
@@ -179,6 +221,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         recv_timeout_s=args.timeout,
         max_attempts=args.max_attempts,
         checkpoint_root=args.checkpoint_root,
+        rendezvous=args.rendezvous,
     )
     if args.json:
         import json
@@ -187,6 +230,32 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     else:
         print(report.to_text())
     return 0 if report.all_recovered else 1
+
+
+def cmd_serve_rendezvous(args: argparse.Namespace) -> int:
+    """Run the roster server socket worlds bootstrap through.
+
+    One long-lived server handles every round (and every supervised
+    retry) of any number of sequential runs; point each participant at it
+    with ``--backend socket --rendezvous <host>:<port>``.  Runs until
+    interrupted (Ctrl-C).
+    """
+    import time
+
+    from repro.distributed.sockcomm import RendezvousServer
+
+    server = RendezvousServer(host=args.host, port=args.port).start()
+    host, port = server.address
+    print(f"rendezvous serving on {host}:{port} (Ctrl-C to stop)",
+          flush=True)
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -235,6 +304,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
             wire=args.wire,
             checkpoint_dir=checkpoint_dir,
             telemetry=session,
+            rendezvous=args.rendezvous,
         )
     session.write_chrome_trace(args.out)
 
@@ -326,9 +396,16 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--out", required=True, help="output shard directory")
     g.add_argument("--ranks", type=int, default=4, help="world size")
     g.add_argument("--scheme", choices=("1d", "2d"), default="2d")
-    g.add_argument("--backend", choices=("inline", "thread", "process"),
+    g.add_argument("--backend",
+                   choices=("inline", "thread", "process", "socket"),
                    default="thread")
     g.add_argument("--chunk-size", type=int, default=1 << 20)
+    g.add_argument("--rendezvous", default=None,
+                   help="host:port of a running serve-rendezvous (socket "
+                        "backend; default: a private in-process server)")
+    g.add_argument("--local-ranks", default=None,
+                   help="ranks this host launches, e.g. '0-3' or '0,2,5' "
+                        "(socket backend multi-host worlds; default: all)")
     g.set_defaults(func=cmd_generate)
 
     t = sub.add_parser("groundtruth", help="print product ground truth")
@@ -391,10 +468,18 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--checkpoint-root", default=None,
                    help="directory for per-cell shard checkpoints "
                         "(default: no checkpointing)")
+    c.add_argument("--plan-set", choices=("default", "socket", "both"),
+                   default="default",
+                   help="fault-plan family: the generic matrix, the TCP "
+                        "disconnect/partition/slow-peer plans, or both")
+    c.add_argument("--rendezvous", default=None,
+                   help="host:port of a running serve-rendezvous for "
+                        "socket cells (default: private per-run server)")
     c.add_argument("--json", action="store_true",
                    help="emit the machine-readable report (per-cell "
-                        "outcome, attempts, recovery time) instead of "
-                        "the text table")
+                        "outcome, attempts, recovery time, and socket "
+                        "reconnect/replay counts) instead of the text "
+                        "table")
     c.set_defaults(func=cmd_chaos)
 
     tr = sub.add_parser(
@@ -422,8 +507,12 @@ def build_parser() -> argparse.ArgumentParser:
                          "1d-pipelined)")
     tr.add_argument("--wire", choices=("raw", "varint"), default="raw",
                     help="edge wire format for every exchange")
-    tr.add_argument("--backend", choices=("inline", "thread", "process"),
+    tr.add_argument("--backend",
+                    choices=("inline", "thread", "process", "socket"),
                     default="thread")
+    tr.add_argument("--rendezvous", default=None,
+                    help="host:port of a running serve-rendezvous (socket "
+                         "backend; default: a private in-process server)")
     tr.add_argument("--chunk-size", type=int, default=1 << 20)
     tr.add_argument("--out", default="trace.json",
                     help="trace-event JSON output path")
@@ -434,6 +523,17 @@ def build_parser() -> argparse.ArgumentParser:
                     help="shard checkpoint directory (default: a "
                          "temporary directory, discarded after the run)")
     tr.set_defaults(func=cmd_trace)
+
+    rz = sub.add_parser(
+        "serve-rendezvous",
+        help="run the roster server multi-host socket worlds bootstrap "
+             "through",
+    )
+    rz.add_argument("--host", default="0.0.0.0",
+                    help="interface to bind (default: all)")
+    rz.add_argument("--port", type=int, default=9310,
+                    help="port to listen on (0 picks a free port)")
+    rz.set_defaults(func=cmd_serve_rendezvous)
     return parser
 
 

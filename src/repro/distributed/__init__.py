@@ -14,16 +14,28 @@ from repro.distributed.comm import (
 )
 from repro.distributed.checked import CheckedCommunicator, SentinelLedger
 from repro.distributed.mpcomm import ProcessCommunicator, make_process_pipes
+from repro.distributed.sockcomm import (
+    RendezvousServer,
+    SocketCommunicator,
+    make_socket_world,
+)
 from repro.distributed.launcher import spmd_run
 from repro.distributed.faults import (
     FaultPlan,
     FaultyCommunicator,
     default_fault_matrix,
+    socket_fault_matrix,
 )
-from repro.distributed.checkpoint import CheckpointStore, edges_digest
+from repro.distributed.checkpoint import (
+    CheckpointStore,
+    RunManifest,
+    edges_digest,
+    reshard_run,
+)
 from repro.distributed.supervisor import (
     ChaosReport,
     SupervisorReport,
+    decorrelated_jitter,
     generate_distributed_supervised,
     run_chaos_matrix,
     spmd_run_supervised,
@@ -88,14 +100,21 @@ __all__ = [
     "SentinelLedger",
     "ProcessCommunicator",
     "make_process_pipes",
+    "SocketCommunicator",
+    "RendezvousServer",
+    "make_socket_world",
     "spmd_run",
     "FaultPlan",
     "FaultyCommunicator",
     "default_fault_matrix",
+    "socket_fault_matrix",
     "CheckpointStore",
+    "RunManifest",
     "edges_digest",
+    "reshard_run",
     "SupervisorReport",
     "ChaosReport",
+    "decorrelated_jitter",
     "spmd_run_supervised",
     "generate_distributed_supervised",
     "run_chaos_matrix",

@@ -22,6 +22,7 @@ default -- the shard regenerates -- with a structured
 
 from __future__ import annotations
 
+import json
 import os
 import re
 import tempfile
@@ -32,11 +33,21 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import CheckpointError, DegradationWarning
+from repro.errors import (
+    CheckpointCorruptionError,
+    CheckpointError,
+    DegradationWarning,
+)
 from repro.telemetry.session import record_degradation
 from repro.util.hashing import hash_pair, splitmix64
 
-__all__ = ["edges_digest", "CheckpointStore", "Shard"]
+__all__ = [
+    "edges_digest",
+    "CheckpointStore",
+    "Shard",
+    "RunManifest",
+    "reshard_run",
+]
 
 _KEY_RE = re.compile(r"[^A-Za-z0-9._-]+")
 
@@ -66,11 +77,39 @@ def edges_digest(edges: np.ndarray) -> int:
 
 @dataclass(frozen=True)
 class Shard:
-    """One recovered checkpoint entry."""
+    """One recovered checkpoint entry.
+
+    ``resharded`` marks shards written by :func:`reshard_run` rather than
+    by generation: their contents are ownership-exact but their row order
+    is the canonical union order, so a digest mismatch against a
+    re-*generated* shard means "stale layout", not "nondeterminism".
+    """
 
     edges: np.ndarray
     generated: int
     digest: int
+    resharded: bool = False
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Consensus summary of one completed checkpointed run.
+
+    Written after a run succeeds; consumed by elastic resume.  ``family``
+    is the rank-count-independent configuration signature (factor digests
+    plus every parameter except the world size), so manifests of the same
+    family describe the *same* edge set partitioned at different rank
+    counts.  ``union_digest`` is the digest of all shards stacked in rank
+    order and canonically (lexicographically) sorted -- the invariant any
+    re-partition must preserve bit-for-bit.
+    """
+
+    run_key: str
+    family: str
+    nranks: int
+    shard_digests: tuple[int, ...]
+    union_digest: int
+    edges_total: int
 
 
 class CheckpointStore:
@@ -93,7 +132,14 @@ class CheckpointStore:
         """Does a checkpoint file exist for ``key`` (without verifying)?"""
         return self._path(key).exists()
 
-    def put(self, key: str, edges: np.ndarray, generated: int = 0) -> int:
+    def put(
+        self,
+        key: str,
+        edges: np.ndarray,
+        generated: int = 0,
+        *,
+        resharded: bool = False,
+    ) -> int:
         """Persist a shard; returns its content digest.
 
         The write goes through a temp file + atomic rename so a crash
@@ -113,6 +159,7 @@ class CheckpointStore:
                     edges=edges,
                     generated=np.int64(generated),
                     digest=np.uint64(digest),
+                    resharded=np.int64(resharded),
                 )
             os.replace(tmp, path)
         except BaseException:
@@ -121,14 +168,19 @@ class CheckpointStore:
             raise
         return digest
 
-    def get(self, key: str, *, strict: bool = False) -> Shard | None:
+    def get(
+        self, key: str, *, strict: bool = False, discard: bool = False
+    ) -> Shard | None:
         """Load and verify a shard; ``None`` when absent or unusable.
 
         The digest is recomputed from the loaded data and compared to the
         recorded one.  On mismatch (or an unreadable file) the checkpoint
         is discarded: a :class:`DegradationWarning` is emitted and the
         shard regenerates -- unless ``strict=True``, which raises
-        :class:`CheckpointError` instead.
+        :class:`CheckpointError` instead, or ``discard=True``, which
+        *deletes* the damaged file and raises the transient
+        :class:`CheckpointCorruptionError` (the supervised path: the retry
+        finds no checkpoint and regenerates bit-identically).
         """
         path = self._path(key)
         if not path.exists():
@@ -138,8 +190,13 @@ class CheckpointStore:
                 edges = np.asarray(npz["edges"], dtype=np.int64).reshape(-1, 2)
                 generated = int(npz["generated"])
                 recorded = int(npz["digest"])
+                resharded = (
+                    bool(npz["resharded"]) if "resharded" in npz else False
+                )
         except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
-            return self._reject(key, path, f"unreadable checkpoint: {exc}", strict)
+            return self._reject(
+                key, path, f"unreadable checkpoint: {exc}", strict, discard
+            )
         actual = edges_digest(edges)
         if actual != recorded:
             return self._reject(
@@ -148,12 +205,27 @@ class CheckpointStore:
                 f"content digest {actual:#018x} does not match recorded "
                 f"{recorded:#018x} (corrupt or torn write)",
                 strict,
+                discard,
             )
-        return Shard(edges=edges, generated=generated, digest=recorded)
+        return Shard(
+            edges=edges, generated=generated, digest=recorded,
+            resharded=resharded,
+        )
 
     def _reject(
-        self, key: str, path: Path, reason: str, strict: bool
+        self,
+        key: str,
+        path: Path,
+        reason: str,
+        strict: bool,
+        discard: bool = False,
     ) -> None:
+        if discard:
+            path.unlink(missing_ok=True)
+            raise CheckpointCorruptionError(
+                f"checkpoint {key!r} at {path}: {reason} -- damaged "
+                f"artifact discarded; a retry regenerates the shard"
+            )
         if strict:
             raise CheckpointError(f"checkpoint {key!r} at {path}: {reason}")
         record_degradation(
@@ -176,3 +248,161 @@ class CheckpointStore:
     def keys(self) -> list[str]:
         """Stored keys (filename-sanitized form), sorted."""
         return sorted(p.stem for p in self.directory.glob("*.npz"))
+
+    # ---- run manifests ---------------------------------------------------
+    def _manifest_path(self, run_key: str) -> Path:
+        return self.directory / f"{_KEY_RE.sub('_', run_key)}.manifest.json"
+
+    def put_manifest(self, manifest: RunManifest) -> None:
+        """Persist a run manifest (atomic tmp + rename, like shards)."""
+        path = self._manifest_path(manifest.run_key)
+        payload = json.dumps(
+            {
+                "run_key": manifest.run_key,
+                "family": manifest.family,
+                "nranks": manifest.nranks,
+                "shard_digests": [f"{d:016x}" for d in manifest.shard_digests],
+                "union_digest": f"{manifest.union_digest:016x}",
+                "edges_total": manifest.edges_total,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def get_manifest(self, run_key: str) -> RunManifest | None:
+        """Load one manifest; damaged files are deleted and yield ``None``.
+
+        A manifest is pure derived metadata (the shards are the truth), so
+        an unreadable one is silently dropped -- elastic resume simply will
+        not see that run.  Digest *verification* against the shards happens
+        in :func:`reshard_run`, where a mismatch is a transient error.
+        """
+        path = self._manifest_path(run_key)
+        if not path.exists():
+            return None
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+            return RunManifest(
+                run_key=str(doc["run_key"]),
+                family=str(doc["family"]),
+                nranks=int(doc["nranks"]),
+                shard_digests=tuple(
+                    int(d, 16) for d in doc["shard_digests"]
+                ),
+                union_digest=int(doc["union_digest"], 16),
+                edges_total=int(doc["edges_total"]),
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            path.unlink(missing_ok=True)
+            return None
+
+    def discard_manifest(self, run_key: str) -> None:
+        """Remove one manifest (missing is fine)."""
+        self._manifest_path(run_key).unlink(missing_ok=True)
+
+    def manifests(self) -> list[RunManifest]:
+        """Every readable manifest in the store, sorted by run key."""
+        out = []
+        for path in sorted(self.directory.glob("*.manifest.json")):
+            run_key = path.name[: -len(".manifest.json")]
+            manifest = self.get_manifest(run_key)
+            if manifest is not None:
+                out.append(manifest)
+        return out
+
+
+def _canonical_order(edges: np.ndarray) -> np.ndarray:
+    """Lexicographic row order (the manifest's union invariant)."""
+    edges = np.ascontiguousarray(edges, dtype=np.int64).reshape(-1, 2)
+    return edges[np.lexsort((edges[:, 1], edges[:, 0]))]
+
+
+def reshard_run(
+    store: CheckpointStore,
+    manifest: RunManifest,
+    *,
+    new_key: str,
+    new_ranks: int,
+    scheme: str,
+    n: int,
+    seed: int = 0,
+) -> RunManifest:
+    """Re-partition a completed run's shards onto a new rank count.
+
+    The elastic-resume kernel: load every source shard (digest-verified,
+    damaged ones deleted), rebuild the canonical edge union, verify it
+    against the manifest's consensus ``union_digest``, then re-partition
+    through the *same* ownership map a fresh ``new_ranks``-rank run would
+    use (:func:`repro.distributed.shuffle.edge_owners`) and persist the
+    new shards plus their manifest.  Ownership-exact re-partitioning plus
+    the union-digest check make the resumed run's edge set bit-identical
+    to the original regardless of R -> R'.
+
+    Any damage found along the way raises the *transient*
+    :class:`CheckpointCorruptionError` after discarding the damaged
+    artifact, so a supervised retry falls back to fresh generation.
+    """
+    from repro.distributed.shuffle import edge_owners
+
+    blocks = []
+    for rank in range(manifest.nranks):
+        key = f"{manifest.run_key}.rank{rank:05d}"
+        shard = store.get(key, discard=True)
+        if shard is None:
+            store.discard_manifest(manifest.run_key)
+            raise CheckpointCorruptionError(
+                f"elastic resume: source shard {key!r} of manifest "
+                f"{manifest.run_key!r} is missing; manifest discarded"
+            )
+        if shard.digest != manifest.shard_digests[rank]:
+            store.discard_manifest(manifest.run_key)
+            raise CheckpointCorruptionError(
+                f"elastic resume: shard {key!r} digest "
+                f"{shard.digest:#018x} does not match manifest "
+                f"{manifest.shard_digests[rank]:#018x} (shards were "
+                f"rewritten after the manifest); manifest discarded"
+            )
+        blocks.append(shard.edges)
+    union = _canonical_order(
+        np.vstack(blocks) if blocks else np.empty((0, 2), dtype=np.int64)
+    )
+    union_digest = edges_digest(union)
+    if union_digest != manifest.union_digest:
+        store.discard_manifest(manifest.run_key)
+        raise CheckpointCorruptionError(
+            f"elastic resume: shard union digest {union_digest:#018x} "
+            f"does not match manifest consensus "
+            f"{manifest.union_digest:#018x}; manifest discarded"
+        )
+    owners = edge_owners(union, new_ranks, scheme=scheme, n=n, seed=seed)
+    shard_digests = []
+    for rank in range(new_ranks):
+        shard_edges = union[owners == rank]
+        shard_digests.append(
+            store.put(
+                f"{new_key}.rank{rank:05d}", shard_edges, generated=0,
+                resharded=True,
+            )
+        )
+    new_manifest = RunManifest(
+        run_key=new_key,
+        family=manifest.family,
+        nranks=new_ranks,
+        shard_digests=tuple(shard_digests),
+        union_digest=union_digest,
+        edges_total=int(len(union)),
+    )
+    store.put_manifest(new_manifest)
+    return new_manifest

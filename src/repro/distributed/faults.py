@@ -60,6 +60,7 @@ __all__ = [
     "FaultCounters",
     "PlanBinder",
     "default_fault_matrix",
+    "socket_fault_matrix",
     "disarm",
 ]
 
@@ -68,6 +69,8 @@ _KIND_DROP = 0x10001
 _KIND_DUP = 0x20002
 _KIND_DELAY = 0x30003
 _KIND_DELAY_AMOUNT = 0x40004
+_KIND_DISCONNECT = 0x50005
+_KIND_PARTITION = 0x60006
 
 _ENV_TAG = "__fault_envelope__"
 
@@ -103,6 +106,19 @@ class FaultPlan:
     delay_at: tuple[tuple[int, int], ...] = ()
     crash_rank: int | None = None
     crash_at: int = 0
+    #: Socket-level fault kinds (no-ops on backends without the hooks):
+    #: ``disconnect_at`` abruptly closes one peer connection at the first
+    #: comm op at-or-after the scheduled index (the socket backend
+    #: self-heals via reconnect + replay, so runs recover *in-run*);
+    #: ``partition_at`` severs the link permanently (no reconnect is ever
+    #: accepted -- both sides declare the peer dead and supervised retry
+    #: recovers); ``slow_rank`` stalls every DATA frame that rank sends by
+    #: ``slow_s`` seconds (heartbeats keep flowing, so slowness is not
+    #: mistaken for death).
+    disconnect_at: tuple[tuple[int, int], ...] = ()
+    partition_at: tuple[tuple[int, int], ...] = ()
+    slow_rank: int | None = None
+    slow_s: float = 0.0
     #: Faults fire only on attempts < this (1 = first attempt only).
     fault_attempts: int = 1
 
@@ -122,6 +138,12 @@ class FaultPlan:
             kinds.append("delay")
         if self.crash_rank is not None:
             kinds.append(f"crash@r{self.crash_rank}")
+        if self.disconnect_at:
+            kinds.append("disconnect")
+        if self.partition_at:
+            kinds.append("partition")
+        if self.slow_rank is not None:
+            kinds.append(f"slow@r{self.slow_rank}")
         return "+".join(kinds) or "noop"
 
 
@@ -150,6 +172,8 @@ class FaultCounters:
     delayed: int = 0
     deduplicated: int = 0
     crashes: int = 0
+    disconnects: int = 0
+    partitions: int = 0
 
 
 class FaultyCommunicator(Communicator):
@@ -187,6 +211,12 @@ class FaultyCommunicator(Communicator):
         self._seen: dict[tuple[int, int], set[int]] = {}
         self._fired: set[tuple[int, tuple[int, int]]] = set()
         self.counters = FaultCounters()
+        if self._armed and plan.slow_rank == inner.rank and plan.slow_s > 0:
+            # Slow-peer fault: installed once at construction; a backend
+            # without the hook (thread/process) ignores the plan entry.
+            setter = getattr(inner, "set_send_delay", None)
+            if setter is not None:
+                setter(plan.slow_s)
 
     @property
     def rank(self) -> int:
@@ -256,6 +286,30 @@ class FaultyCommunicator(Communicator):
         ):
             self.counters.delayed += 1
             time.sleep(plan.delay_s * self._uniform(_KIND_DELAY_AMOUNT, op))
+        for entry in plan.disconnect_at:
+            r, at = entry
+            if (
+                r == self.rank
+                and op >= at
+                and (_KIND_DISCONNECT, entry) not in self._fired
+            ):
+                self._fired.add((_KIND_DISCONNECT, entry))
+                hook = getattr(self._inner, "inject_disconnect", None)
+                if hook is not None:
+                    self.counters.disconnects += 1
+                    hook()
+        for entry in plan.partition_at:
+            r, at = entry
+            if (
+                r == self.rank
+                and op >= at
+                and (_KIND_PARTITION, entry) not in self._fired
+            ):
+                self._fired.add((_KIND_PARTITION, entry))
+                hook = getattr(self._inner, "inject_partition", None)
+                if hook is not None:
+                    self.counters.partitions += 1
+                    hook()
         return op
 
     # ---- faulty point-to-point ------------------------------------------
@@ -342,6 +396,50 @@ def default_fault_matrix(
                   delay_prob=0.5, delay_s=0.01),
         FaultPlan(seed=seed + 12, name="dup+crash", dup_prob=1.0,
                   crash_rank=min(1, last), crash_at=4),
+    ]
+    return plans
+
+
+def socket_fault_matrix(
+    seed: int = 0, nranks: int = 4
+) -> list[FaultPlan]:
+    """Fault plans that exercise the socket backend's recovery machinery.
+
+    Disconnect plans sever a live TCP connection mid-run; the socket
+    backend is expected to reconnect and replay in-flight frames, so these
+    stay armed on every attempt (tolerated in-run, no retry needed).
+    Partition plans are permanent for the attempt -- the victim refuses
+    reconnection until the rank is torn down -- so they arm on the first
+    attempt only and supervised retry recovers.  Slow-peer plans throttle
+    one rank's sends while heartbeats keep flowing, proving liveness
+    detection does not misfire on a slow-but-alive peer.
+
+    On non-socket backends the disconnect/partition/slow hooks resolve to
+    ``None`` and the plans degrade to no-fault reference runs.
+    """
+    last = max(0, nranks - 1)
+    tolerated = {"fault_attempts": 1 << 20}
+    plans = [
+        # -- disconnects: self-healing, tolerated within a single run.
+        # Firing at op 0 severs the link before the victim-bound data has
+        # moved, so the run *must* reconnect and replay to finish -- a
+        # later op can land after that peer's sends already completed,
+        # quietly testing the happy path instead of the heal.
+        FaultPlan(seed=seed + 101, name="sock-disc-r1-op0",
+                  disconnect_at=((min(1, last), 0),), **tolerated),
+        FaultPlan(seed=seed + 102, name=f"sock-disc-r{last}-op0",
+                  disconnect_at=((last, 0),), **tolerated),
+        FaultPlan(seed=seed + 103, name="sock-disc-multi",
+                  disconnect_at=((0, 0), (min(1, last), 2)), **tolerated),
+        # -- partition: permanent for the attempt; supervised retry heals -
+        FaultPlan(seed=seed + 104, name="sock-partition-r1",
+                  partition_at=((min(1, last), 2),)),
+        # -- slow peer: heartbeats keep it alive despite throttled sends --
+        FaultPlan(seed=seed + 105, name="sock-slow-r0", slow_rank=0,
+                  slow_s=0.02, **tolerated),
+        # -- compound: disconnect under duplicate pressure ----------------
+        FaultPlan(seed=seed + 106, name="sock-disc+dup",
+                  disconnect_at=((0, 0),), dup_prob=1.0, **tolerated),
     ]
     return plans
 

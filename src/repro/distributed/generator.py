@@ -372,7 +372,7 @@ def generate_distributed(
         raise PartitionError(
             f"unknown scheme {scheme!r}; use '1d', '1d-pipelined', or '2d'"
         )
-    blocks = [o.edges for o in outputs if len(o.edges)]
+    blocks = [o.edges for o in outputs if o is not None and len(o.edges)]
     edges = (
         np.vstack(blocks) if blocks else np.empty((0, 2), dtype=np.int64)
     )

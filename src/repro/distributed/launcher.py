@@ -15,6 +15,13 @@ Backends
     picklable).  When the platform has no ``fork`` start method the
     launcher degrades to the thread backend with a structured
     :class:`~repro.errors.DegradationWarning` instead of dying.
+``"socket"``:
+    one forked OS process per rank over the TCP mesh of
+    :mod:`repro.distributed.sockcomm`, bootstrapped through a rendezvous
+    service -- the same backend that spans hosts (``rendezvous=`` plus a
+    per-host ``local_ranks=`` subset).  An unreachable external
+    rendezvous degrades to the process backend with a
+    :class:`~repro.errors.DegradationWarning`.
 
 A rank raising an exception cancels the run and re-raises in the caller as
 :class:`~repro.errors.RankFailedError` (naming the failing rank), rather
@@ -34,6 +41,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue
 import signal
+import socket
 import threading
 import traceback
 import warnings
@@ -178,32 +186,25 @@ def _rank_roster(reported: set[int], nranks: int) -> str:
     )
 
 
-def _run_processes(
-    fn: RankFn,
+def _collect_results(
+    procs: dict[int, "mp.process.BaseProcess"],
+    result_q,
     nranks: int,
-    args: tuple,
-    ctx: mp.context.BaseContext,
-    wrap_comm: CommWrapper | None = None,
 ) -> list[Any]:
-    pipes = make_process_pipes(nranks, ctx)
-    result_q = ctx.Queue()
-    procs = [
-        ctx.Process(
-            target=_process_entry,
-            args=(fn, pipes, r, nranks, args, result_q, wrap_comm),
-            daemon=True,
-        )
-        for r in range(nranks)
-    ]
-    for p in procs:
-        p.start()
+    """Drain child results, watching liveness; reap; raise on failure.
+
+    ``procs`` maps rank -> child process for the ranks this launch owns
+    (all of them for the process backend; possibly a subset for a
+    multi-host socket launch).  The returned list always has ``nranks``
+    slots; ranks not launched here stay ``None``.
+    """
     results: list[Any] = [None] * nranks
     reported: set[int] = set()
     failure: CommunicatorError | None = None
     timeout = _RUN_TIMEOUT_FACTOR * recv_timeout()
     deadline = monotonic() + timeout
     dead_since: dict[int, float] = {}
-    while len(reported) < nranks:
+    while len(reported) < len(procs):
         poll = poll_interval()
         try:
             rank, ok, payload = result_q.get(timeout=poll)
@@ -212,7 +213,7 @@ def _run_processes(
             # Liveness: a child that died without reporting will never put
             # a result; give its (possibly already queued) result a few
             # polls to drain through the feeder thread, then declare it.
-            for r, p in enumerate(procs):
+            for r, p in procs.items():
                 if r in reported or p.is_alive():
                     dead_since.pop(r, None)
                 else:
@@ -246,17 +247,134 @@ def _run_processes(
             results[rank] = payload
             reported.add(rank)
         else:
-            original_type, tb = payload
-            failure = RankFailedError(rank, original_type, tb)
+            # 2-tuple from the process backend; the socket entry appends a
+            # dict of peer-liveness enrichment (heartbeat age, address).
+            original_type, tb = payload[0], payload[1]
+            extra = payload[2] if len(payload) > 2 else {}
+            failure = RankFailedError(rank, original_type, tb, **extra)
             break
     reap = _REAP_FACTOR * recv_timeout()
-    for p in procs:
+    for p in procs.values():
         if failure is not None:
             p.terminate()
         p.join(timeout=reap)
     if failure is not None:
         raise failure
     return results
+
+
+def _run_processes(
+    fn: RankFn,
+    nranks: int,
+    args: tuple,
+    ctx: mp.context.BaseContext,
+    wrap_comm: CommWrapper | None = None,
+) -> list[Any]:
+    pipes = make_process_pipes(nranks, ctx)
+    result_q = ctx.Queue()
+    procs = {
+        r: ctx.Process(
+            target=_process_entry,
+            args=(fn, pipes, r, nranks, args, result_q, wrap_comm),
+            daemon=True,
+        )
+        for r in range(nranks)
+    }
+    for p in procs.values():
+        p.start()
+    return _collect_results(procs, result_q, nranks)
+
+
+def _socket_entry(
+    fn, rendezvous_addr, rank, size, args, result_q, wrap_comm=None
+):  # pragma: no cover - runs in the child process
+    # Same shipping contract as _process_entry, plus socket-specific
+    # enrichment: when the failure carries peer liveness (RankDiedError
+    # from the heartbeat detector), the last-heartbeat age and peer
+    # address survive the pickle hop as a kwargs dict.
+    from repro.distributed.sockcomm import SocketCommunicator
+
+    comm = None
+    try:
+        comm = SocketCommunicator.connect(rendezvous_addr, rank, size)
+        wrapped = wrap_comm(comm) if wrap_comm is not None else comm
+        result_q.put((rank, True, fn(wrapped, *args)))
+    except BaseException as exc:  # noqa: BLE001
+        extra = {}
+        if getattr(exc, "address", None) is not None:
+            extra = {
+                "heartbeat_age_s": getattr(exc, "heartbeat_age_s", None),
+                "address": exc.address,
+            }
+        result_q.put(
+            (rank, False,
+             (type(exc).__name__, traceback.format_exc(), extra))
+        )
+    finally:
+        if comm is not None:
+            comm.close()
+
+
+def _run_socket_processes(
+    fn: RankFn,
+    nranks: int,
+    args: tuple,
+    ctx: mp.context.BaseContext,
+    wrap_comm: CommWrapper | None,
+    rendezvous: str | None,
+    local_ranks: tuple[int, ...] | None,
+) -> list[Any]:
+    from repro.distributed.sockcomm import (
+        RendezvousServer,
+        parse_hostport,
+    )
+
+    server: RendezvousServer | None = None
+    if rendezvous is None:
+        # Single-host launch: bring up a private rendezvous for this run.
+        server = RendezvousServer().start()
+        addr = server.address
+    else:
+        addr = parse_hostport(rendezvous)
+        try:
+            probe = socket.create_connection(addr, timeout=recv_timeout())
+            probe.close()
+        except OSError as exc:
+            if local_ranks is not None:
+                # A partial world cannot fall back to a single-host
+                # backend: the other hosts would wait forever.
+                raise CommunicatorError(
+                    f"rendezvous at {rendezvous} unreachable ({exc}) and "
+                    f"local_ranks={local_ranks!r} rules out a single-host "
+                    f"fallback"
+                ) from exc
+            reason = f"rendezvous at {rendezvous} unreachable: {exc}"
+            record_degradation("socket backend", "process backend", reason)
+            warnings.warn(
+                DegradationWarning("socket backend", "process backend",
+                                   reason),
+                stacklevel=2,
+            )
+            return _run_processes(fn, nranks, args, ctx, wrap_comm)
+    ranks = tuple(local_ranks) if local_ranks is not None else tuple(
+        range(nranks)
+    )
+    try:
+        result_q = ctx.Queue()
+        procs = {
+            r: ctx.Process(
+                target=_socket_entry,
+                args=(fn, addr, r, nranks, args, result_q, wrap_comm),
+                daemon=True,
+            )
+            for r in ranks
+        }
+        for p in procs.values():
+            p.start()
+        return _collect_results(procs, result_q, nranks)
+    finally:
+        if server is not None:
+            server.stop()
 
 
 def spmd_run(
@@ -267,6 +385,8 @@ def spmd_run(
     checked: bool | None = None,
     wrap_comm: CommWrapper | None = None,
     telemetry: TelemetrySession | None = None,
+    rendezvous: str | None = None,
+    local_ranks: tuple[int, ...] | None = None,
 ) -> list[Any]:
     """Execute ``fn(comm, *args)`` on every rank; return results in rank order.
 
@@ -303,12 +423,30 @@ def spmd_run(
         collects one :class:`~repro.telemetry.session.RankTrace` per rank
         alongside the results.  ``None`` (the default) adds no wrapper at
         all: rank programs see the shared no-op telemetry.
+    rendezvous:
+        Socket backend only: ``"host:port"`` of a running
+        ``repro-kron serve-rendezvous``.  ``None`` starts a private
+        in-process rendezvous for the duration of the run (single-host
+        socket worlds); an unreachable external rendezvous degrades the
+        launch to the process backend with a
+        :class:`~repro.errors.DegradationWarning`.
+    local_ranks:
+        Socket backend only: the subset of ranks this invocation should
+        launch (each host of a multi-host world runs its own share and
+        they meet at the rendezvous).  Result slots for ranks launched
+        elsewhere are ``None``.  Default: all ranks.
     """
     if nranks < 1:
         raise CommunicatorError(f"nranks must be >= 1, got {nranks}")
+    if backend != "socket" and (rendezvous is not None
+                                or local_ranks is not None):
+        raise CommunicatorError(
+            "rendezvous/local_ranks apply to the socket backend only"
+        )
     traced = telemetry is not None and telemetry.enabled
     run_fn: RankFn = _TelemetryRankFn(fn, telemetry.config) if traced else fn
-    results = _dispatch(run_fn, nranks, args, backend, checked, wrap_comm)
+    results = _dispatch(run_fn, nranks, args, backend, checked, wrap_comm,
+                        rendezvous, local_ranks)
     if traced:
         results = telemetry.ingest(results)
     return results
@@ -321,6 +459,8 @@ def _dispatch(
     backend: str,
     checked: bool | None,
     wrap_comm: CommWrapper | None,
+    rendezvous: str | None = None,
+    local_ranks: tuple[int, ...] | None = None,
 ) -> list[Any]:
     if backend == "inline":
         if nranks != 1:
@@ -355,4 +495,23 @@ def _dispatch(
             return _run_threads(fn, nranks, args, checked=False,
                                 wrap_comm=wrap_comm)
         return _run_processes(fn, nranks, args, ctx, wrap_comm)
+    if backend == "socket":
+        if checked:
+            raise CommunicatorError(
+                "checked collective mode needs in-process shared state; "
+                "it supports the thread backend only"
+            )
+        ctx = _fork_context()
+        if ctx is None:  # pragma: no cover - non-posix
+            reason = "fork start method unavailable on this platform"
+            record_degradation("socket backend", "thread backend", reason)
+            warnings.warn(
+                DegradationWarning("socket backend", "thread backend",
+                                   reason),
+                stacklevel=2,
+            )
+            return _run_threads(fn, nranks, args, checked=False,
+                                wrap_comm=wrap_comm)
+        return _run_socket_processes(fn, nranks, args, ctx, wrap_comm,
+                                     rendezvous, local_ranks)
     raise CommunicatorError(f"unknown backend {backend!r}")

@@ -86,11 +86,18 @@ def generate_to_directory(
     scheme: str = "2d",
     backend: str = "thread",
     chunk_size: int = DEFAULT_CHUNK,
+    rendezvous: str | None = None,
+    local_ranks: tuple[int, ...] | None = None,
 ) -> ShardManifest:
     """Generate ``A (x) B`` across ranks, writing one shard file per rank.
 
     Returns a :class:`ShardManifest`; ``manifest.load()`` reassembles the
-    product for verification at test scale.
+    product for verification at test scale.  ``rendezvous`` (socket
+    backend only) points the ranks at an external ``host:port`` roster
+    server instead of a private in-process one; ``local_ranks`` restricts
+    this invocation to its share of a multi-host world, in which case the
+    manifest covers only the shards written on this host (the remote
+    shards live on the other hosts' filesystems).
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -108,16 +115,24 @@ def generate_to_directory(
             comm, assignments[comm.rank], str(directory), chunk_size
         )
 
-    if backend == "process":
-        # process backend needs a picklable module-level callable
+    if backend in ("process", "socket"):
+        # multiprocess backends need a picklable module-level callable
+        run_kwargs = {"backend": backend}
+        if rendezvous is not None:
+            run_kwargs["rendezvous"] = rendezvous
+        if local_ranks is not None:
+            run_kwargs["local_ranks"] = local_ranks
         results = spmd_run(
             _rank_entry, nranks, assignments, str(directory), chunk_size,
-            backend="process",
+            **run_kwargs,
         )
     else:
         results = spmd_run(rank_fn, nranks, backend=backend)
-    paths = [Path(p) for p, _c in results]
-    total = sum(c for _p, c in results)
+    # Ranks launched on other hosts report None slots; their shards are
+    # on those hosts, so this manifest covers the local share only.
+    local = [r for r in results if r is not None]
+    paths = [Path(p) for p, _c in local]
+    total = sum(c for _p, c in local)
     return ShardManifest(
         directory=directory,
         n=el_a.n * el_b.n,

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import functools
 import os
+import random
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -35,12 +36,18 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.distributed.checkpoint import CheckpointStore, edges_digest
+from repro.distributed.checkpoint import (
+    CheckpointStore,
+    RunManifest,
+    edges_digest,
+    reshard_run,
+)
 from repro.distributed.comm import RECV_TIMEOUT_ENV
 from repro.distributed.faults import FaultPlan, default_fault_matrix
 from repro.distributed.generator import RankOutput, generate_distributed
 from repro.distributed.launcher import spmd_run
 from repro.errors import (
+    CheckpointCorruptionError,
     CheckpointError,
     CommunicatorError,
     RankFailedError,
@@ -49,12 +56,14 @@ from repro.errors import (
 from repro.graph.edgelist import EdgeList
 from repro.kronecker.product import DEFAULT_CHUNK
 from repro.telemetry.clock import monotonic
-from repro.telemetry.session import telemetry_of
+from repro.telemetry.session import TelemetrySession, telemetry_of
 
 __all__ = [
     "SupervisorReport",
     "spmd_run_supervised",
+    "decorrelated_jitter",
     "generation_run_key",
+    "generation_family_key",
     "generate_distributed_supervised",
     "ChaosOutcome",
     "ChaosReport",
@@ -75,6 +84,10 @@ _RETRYABLE_TYPE_NAMES = frozenset(
         "EOFError",
         "BrokenPipeError",
         "ConnectionResetError",
+        # Corruption *at rest*: the loader deleted the damaged artifact, so
+        # a retry regenerates the shard (unlike its parent CheckpointError,
+        # which signals nondeterminism and stays fatal).
+        "CheckpointCorruptionError",
     }
 )
 
@@ -84,9 +97,11 @@ def _is_retryable(exc: BaseException) -> bool:
     if isinstance(exc, RankFailedError):
         cause = exc.__cause__
         if cause is not None:
-            return isinstance(cause, CommunicatorError)
+            return isinstance(
+                cause, (CommunicatorError, CheckpointCorruptionError)
+            )
         return exc.original_type in _RETRYABLE_TYPE_NAMES
-    return isinstance(exc, CommunicatorError)
+    return isinstance(exc, (CommunicatorError, CheckpointCorruptionError))
 
 
 @dataclass
@@ -142,7 +157,11 @@ class _CheckpointedRankFn:
         with tel.span("checkpoint", cat="phase", op="load"):
             store = CheckpointStore(self.directory)
             key = self._key(comm.rank)
-            cached = store.get(key)
+            # discard=True: a truncated/corrupted shard is deleted and
+            # raises the *transient* CheckpointCorruptionError, so the
+            # supervised retry regenerates it instead of silently running
+            # from a half-trusted store.
+            cached = store.get(key, discard=True)
         if self.shard_mode == "collective" and comm.size > 1:
             all_cached = comm.allreduce(
                 cached is not None, lambda a, b: a and b
@@ -158,12 +177,21 @@ class _CheckpointedRankFn:
                 with tel.span("checkpoint", cat="phase", op="verify"):
                     fresh = edges_digest(out.edges)
                 if fresh != cached.digest:
-                    raise CheckpointError(
-                        f"rank {comm.rank}: re-executed shard digest "
-                        f"{fresh:#018x} does not match checkpoint "
-                        f"{cached.digest:#018x} for key {key!r} -- "
-                        f"generation is expected to be deterministic"
-                    )
+                    if cached.resharded:
+                        # Elastic shards hold the right edges in canonical
+                        # union order, not generation order; once the world
+                        # re-generated anyway, the fresh layout is the
+                        # ground truth -- replace, don't diagnose.
+                        with tel.span("checkpoint", cat="phase", op="store"):
+                            store.put(key, out.edges,
+                                      generated=out.generated)
+                    else:
+                        raise CheckpointError(
+                            f"rank {comm.rank}: re-executed shard digest "
+                            f"{fresh:#018x} does not match checkpoint "
+                            f"{cached.digest:#018x} for key {key!r} -- "
+                            f"generation is expected to be deterministic"
+                        )
             else:
                 with tel.span("checkpoint", cat="phase", op="store"):
                     store.put(key, out.edges, generated=out.generated)
@@ -180,6 +208,26 @@ class _CheckpointedRankFn:
         return out
 
 
+def decorrelated_jitter(
+    prev: float,
+    base: float,
+    factor: float,
+    cap: float,
+    rng: random.Random,
+) -> float:
+    """Next backoff delay under decorrelated jitter.
+
+    The AWS-style scheme: uniform in ``[base, prev * factor]``, clamped to
+    ``cap``.  Retaining the exponential *envelope* (never above
+    ``min(cap, prev * factor)``) while randomizing within it keeps
+    simultaneously-failing ranks/hosts from re-dialing in lockstep --
+    synchronized retry storms are exactly what took down the network the
+    first time.  Deterministic given ``rng``; with ``base == prev == 0``
+    the sequence stays 0 (tests that disable backoff keep sleeping 0s).
+    """
+    return min(cap, rng.uniform(base, max(base, prev * factor)))
+
+
 def spmd_run_supervised(
     fn,
     nranks: int,
@@ -191,11 +239,14 @@ def spmd_run_supervised(
     backoff_base: float = 0.05,
     backoff_factor: float = 2.0,
     backoff_max: float = 2.0,
+    backoff_seed: int | None = None,
     checkpoint: str | os.PathLike | CheckpointStore | None = None,
     run_key: str | None = None,
     shard_mode: str = "collective",
     report: SupervisorReport | None = None,
     telemetry=None,
+    rendezvous: str | None = None,
+    pre_attempt=None,
 ) -> list:
     """Run ``fn`` across ``nranks`` ranks under supervision.
 
@@ -209,7 +260,14 @@ def spmd_run_supervised(
         Total attempts before the last failure re-raises.  Only failures
         classified as transient communicator faults are retried.
     backoff_base / backoff_factor / backoff_max:
-        Exponential backoff (seconds) slept between attempts.
+        Backoff envelope (seconds) slept between attempts.  The first
+        retry sleeps exactly ``backoff_base``; later retries draw
+        decorrelated jitter within the exponential envelope
+        (:func:`decorrelated_jitter`) so simultaneous multi-rank failures
+        do not retry in lockstep.
+    backoff_seed:
+        Seed for the jitter RNG (``None`` = nondeterministic).  Chaos and
+        unit tests pin it for reproducible retry timing.
     checkpoint / run_key / shard_mode:
         When ``checkpoint`` names a directory (or store), wrap ``fn`` --
         which must return :class:`RankOutput` -- in shard-level
@@ -223,6 +281,15 @@ def spmd_run_supervised(
         land on the session's supervisor lane as instant events (attempt
         number, error, backoff), so a recovered run's trace shows *why* it
         took the time it took.
+    rendezvous:
+        Socket backend only; forwarded to every :func:`spmd_run` attempt
+        (``"host:port"`` of an external ``repro-kron serve-rendezvous``).
+    pre_attempt:
+        Optional ``pre_attempt(attempt)`` callable run *inside* each
+        attempt's try block, before the launch -- the elastic-resume hook:
+        a transient failure it raises (e.g.
+        :class:`CheckpointCorruptionError` from resharding damaged
+        checkpoints) is retried like any launch failure.
     """
     if max_attempts < 1:
         raise CommunicatorError(f"max_attempts must be >= 1, got {max_attempts}")
@@ -235,10 +302,13 @@ def spmd_run_supervised(
         )
         key = run_key or getattr(fn, "__name__", "spmd-run")
         run_fn = _CheckpointedRankFn(fn, directory, key, shard_mode)
+    rng = random.Random(backoff_seed)
     delay = backoff_base
     for attempt in range(max_attempts):
         wrap = fault_plan.binder(attempt) if fault_plan is not None else None
         try:
+            if pre_attempt is not None:
+                pre_attempt(attempt)
             results = spmd_run(
                 run_fn,
                 nranks,
@@ -247,6 +317,7 @@ def spmd_run_supervised(
                 checked=checked,
                 wrap_comm=wrap,
                 telemetry=telemetry,
+                rendezvous=rendezvous,
             )
         except ReproError as exc:
             if report is not None:
@@ -263,7 +334,9 @@ def spmd_run_supervised(
             if not retrying:
                 raise
             time.sleep(min(delay, backoff_max))
-            delay *= backoff_factor
+            delay = decorrelated_jitter(
+                delay, backoff_base, backoff_factor, backoff_max, rng
+            )
             continue
         if report is not None:
             report.attempts = attempt + 1
@@ -302,6 +375,62 @@ def generation_run_key(
     )
 
 
+def generation_family_key(
+    el_a: EdgeList,
+    el_b: EdgeList,
+    scheme: str,
+    storage: str | None,
+    routing: str,
+    chunk_size: int,
+    *,
+    pipeline: str = "sync",
+    wire: str = "raw",
+) -> str:
+    """The rank-count-independent part of :func:`generation_run_key`.
+
+    Two run keys with the same family describe the same edge set sharded
+    at different world sizes -- the elastic-resume compatibility class.
+    Everything that changes *contents* stays in; only ``r{nranks}``
+    (which changes *placement*) is wildcarded.
+    """
+    return (
+        f"gen-{edges_digest(el_a.edges):016x}-{edges_digest(el_b.edges):016x}"
+        f"-r*-{scheme}-{storage}-{routing}-c{chunk_size}"
+        f"-{pipeline}-{wire}"
+    )
+
+
+def _maybe_elastic_reshard(
+    directory: str | os.PathLike,
+    run_key: str,
+    family: str,
+    nranks: int,
+    scheme: str,
+    n: int,
+) -> bool:
+    """Reshard a same-family manifest onto ``nranks`` if one exists.
+
+    The supervisor's per-attempt hook: when the target run key has no
+    complete shard set but a manifest of the same family (checkpointed at
+    a different rank count) does, re-partition it through
+    :func:`reshard_run`.  Returns whether a reshard happened; raises the
+    transient :class:`CheckpointCorruptionError` when the source artifacts
+    turn out damaged (the retry then generates from scratch).
+    """
+    store = CheckpointStore(directory)
+    if all(store.has(f"{run_key}.rank{r:05d}") for r in range(nranks)):
+        return False
+    for manifest in store.manifests():
+        if manifest.family != family or manifest.nranks == nranks:
+            continue
+        reshard_run(
+            store, manifest, new_key=run_key, new_ranks=nranks,
+            scheme=scheme, n=n,
+        )
+        return True
+    return False
+
+
 def generate_distributed_supervised(
     el_a: EdgeList,
     el_b: EdgeList,
@@ -320,6 +449,8 @@ def generate_distributed_supervised(
     run_key: str | None = None,
     report: SupervisorReport | None = None,
     telemetry=None,
+    rendezvous: str | None = None,
+    backoff_seed: int | None = None,
 ) -> tuple[EdgeList, list[RankOutput]]:
     """:func:`generate_distributed` under the supervised launcher.
 
@@ -328,6 +459,16 @@ def generate_distributed_supervised(
     ``checkpoint_dir``, completed shards persist under a run key derived
     from the factor digests and generation parameters; a retry (or a fresh
     call with the same configuration) re-executes only missing shards.
+
+    **Elastic re-sharded resume**: after a storage-routed run succeeds, a
+    :class:`~repro.distributed.checkpoint.RunManifest` records the shard
+    digests and the consensus union digest.  A later call with the same
+    configuration but a *different* ``nranks`` finds the manifest through
+    the rank-count-independent family key and re-partitions the shards
+    through the target world's ownership map before the first attempt
+    (:func:`reshard_run`) -- the resumed run loads every shard, generates
+    nothing, and reassembles a bit-identical edge set whether the world
+    shrank or grew.
     """
     if run_key is None and checkpoint_dir is not None:
         run_key = generation_run_key(
@@ -342,6 +483,25 @@ def generate_distributed_supervised(
         if storage is None and scheme in ("1d", "2d")
         else "collective"
     )
+    # Elastic resume needs an ownership map, which only storage-routed
+    # shards have (storage=None shards live where the *partition* put
+    # them, a function of the old rank count).  1d-pipelined defaults its
+    # storage to source_block inside the generator; mirror that here.
+    effective_storage = storage
+    if scheme == "1d-pipelined" and storage is None:
+        effective_storage = "source_block"
+    family = None
+    pre_attempt = None
+    if checkpoint_dir is not None and effective_storage is not None:
+        family = generation_family_key(
+            el_a, el_b, scheme, storage, routing, chunk_size,
+            pipeline=pipeline, wire=wire,
+        )
+        n_c = el_a.n * el_b.n
+        pre_attempt = functools.partial(
+            _elastic_pre_attempt, checkpoint_dir, run_key, family, nranks,
+            effective_storage, n_c, telemetry,
+        )
     runner = functools.partial(
         spmd_run_supervised,
         fault_plan=fault_plan,
@@ -350,8 +510,11 @@ def generate_distributed_supervised(
         run_key=run_key,
         shard_mode=shard_mode,
         report=report,
+        rendezvous=rendezvous,
+        backoff_seed=backoff_seed,
+        pre_attempt=pre_attempt,
     )
-    return generate_distributed(
+    el, outputs = generate_distributed(
         el_a,
         el_b,
         nranks,
@@ -365,6 +528,36 @@ def generate_distributed_supervised(
         runner=runner,
         telemetry=telemetry,
     )
+    if family is not None:
+        # Success: record the consensus manifest elastic resume feeds on.
+        store = CheckpointStore(checkpoint_dir)
+        union = canonical_edges(el.edges)
+        store.put_manifest(
+            RunManifest(
+                run_key=run_key,
+                family=family,
+                nranks=nranks,
+                shard_digests=tuple(
+                    edges_digest(o.edges) for o in outputs
+                ),
+                union_digest=edges_digest(union),
+                edges_total=int(len(union)),
+            )
+        )
+    return el, outputs
+
+
+def _elastic_pre_attempt(
+    directory, run_key, family, nranks, scheme, n, telemetry, attempt
+):
+    """Per-attempt elastic hook (module-level for picklability/clarity)."""
+    resharded = _maybe_elastic_reshard(
+        directory, run_key, family, nranks, scheme, n
+    )
+    if resharded and telemetry is not None and telemetry.enabled:
+        telemetry.record(
+            "supervisor.elastic_reshard", attempt=attempt, nranks=nranks
+        )
 
 
 # --------------------------------------------------------------------- #
@@ -412,6 +605,11 @@ class ChaosOutcome:
     #: Wall time of the whole cell -- including retries and backoff -- so
     #: a report shows recovery *cost*, not just recovery success.
     elapsed_s: float = 0.0
+    #: Socket-backend recovery work observed in the cell: TCP reconnects
+    #: completed and in-flight frames replayed after them.  Zero on
+    #: thread/process cells, which have no connections to heal.
+    reconnects: int = 0
+    replays: int = 0
 
     @property
     def ok(self) -> bool:
@@ -461,6 +659,8 @@ class ChaosReport:
                     "ok": o.ok,
                     "attempts": o.attempts,
                     "elapsed_s": o.elapsed_s,
+                    "reconnects": o.reconnects,
+                    "replays": o.replays,
                     "error": o.error,
                 }
                 for o in self.outcomes
@@ -469,6 +669,21 @@ class ChaosReport:
             "cells_total": len(self.outcomes),
             "all_recovered": self.all_recovered,
         }
+
+
+def _sock_repair_counts(tel) -> dict[str, int]:
+    """Reconnect/replay counts harvested from a cell's telemetry session.
+
+    Sums the per-rank ``sock.*`` counters the socket backend reports at
+    finalize; a ``None`` session (non-socket cell) contributes zeros.
+    """
+    if tel is None:
+        return {"reconnects": 0, "replays": 0}
+    counters = tel.aggregated_metrics().get("counters", {})
+    return {
+        "reconnects": int(counters.get("sock.reconnects", 0)),
+        "replays": int(counters.get("sock.replayed", 0)),
+    }
 
 
 def run_chaos_matrix(
@@ -488,6 +703,7 @@ def run_chaos_matrix(
     recv_timeout_s: float | None = 2.0,
     max_attempts: int = 4,
     checkpoint_root: str | os.PathLike | None = None,
+    rendezvous: str | None = None,
 ) -> ChaosReport:
     """Drive every fault plan against supervised generation.
 
@@ -501,6 +717,12 @@ def run_chaos_matrix(
     async double-buffered loop and the varint wire format
     (``scheme="1d-pipelined"`` required for ``pipeline="async"``), so the
     matrix can prove fault recovery for the split-phase exchange too.
+
+    A ``"socket"`` entry in ``backends`` runs those cells over the TCP
+    backend with a per-cell telemetry session, and the outcome carries the
+    reconnect/replay counts the connection-healing machinery reported --
+    so the JSON report shows not just that a cell recovered but how much
+    wire-level repair the recovery took.
     """
     if plans is None:
         plans = default_fault_matrix(seed=seed, nranks=nranks)
@@ -523,6 +745,11 @@ def run_chaos_matrix(
                     if checkpoint_root is not None
                     else None
                 )
+                # Socket cells get their own telemetry session purely to
+                # harvest sock.* counters; thread/process cells stay
+                # un-instrumented so their comm-op indices (and therefore
+                # the targeted fault schedules) are unchanged.
+                tel = TelemetrySession() if backend == "socket" else None
                 t0 = monotonic()
                 try:
                     el, _ = generate_distributed_supervised(
@@ -531,6 +758,10 @@ def run_chaos_matrix(
                         routing=routing, pipeline=pipeline, wire=wire,
                         fault_plan=plan, max_attempts=max_attempts,
                         checkpoint_dir=checkpoint_dir, report=sup,
+                        telemetry=tel,
+                        rendezvous=(
+                            rendezvous if backend == "socket" else None
+                        ),
                     )
                 except ReproError as exc:
                     report.outcomes.append(
@@ -540,6 +771,7 @@ def run_chaos_matrix(
                             identical=False, attempts=sup.attempts,
                             error=str(exc).splitlines()[0],
                             elapsed_s=monotonic() - t0,
+                            **_sock_repair_counts(tel),
                         )
                     )
                     continue
@@ -552,6 +784,7 @@ def run_chaos_matrix(
                         recovered=True, identical=identical,
                         attempts=sup.attempts,
                         elapsed_s=monotonic() - t0,
+                        **_sock_repair_counts(tel),
                     )
                 )
     return report

@@ -20,6 +20,7 @@ __all__ = [
     "RankFailedError",
     "RankDiedError",
     "CheckpointError",
+    "CheckpointCorruptionError",
     "ExperimentError",
     "ReproWarning",
     "DegradationWarning",
@@ -98,12 +99,35 @@ class RankFailedError(CommunicatorError):
     name raised inside the rank program (the process backend ships
     tracebacks as strings, so only the name survives the hop).  The
     supervisor uses ``original_type`` to decide retryability.
+
+    ``heartbeat_age_s``/``address`` are populated only when the failure
+    crossed the socket backend (they enrich the message with the peer's
+    last-heartbeat age and TCP address); thread/process failures leave
+    them ``None`` and their messages unchanged.
     """
 
-    def __init__(self, rank: int, original_type: str, detail: str) -> None:
-        super().__init__(f"rank {rank} failed ({original_type}):\n{detail}")
+    def __init__(
+        self,
+        rank: int,
+        original_type: str,
+        detail: str,
+        *,
+        heartbeat_age_s: float | None = None,
+        address: str | None = None,
+    ) -> None:
+        message = f"rank {rank} failed ({original_type}):\n{detail}"
+        if address is not None:
+            age = (
+                f"last heartbeat {heartbeat_age_s:.2f}s before the failure"
+                if heartbeat_age_s is not None
+                else "no heartbeat ever received"
+            )
+            message += f"\n[socket peer {address}; {age}]"
+        super().__init__(message)
         self.rank = rank
         self.original_type = original_type
+        self.heartbeat_age_s = heartbeat_age_s
+        self.address = address
 
 
 class RankDiedError(CommunicatorError):
@@ -111,12 +135,26 @@ class RankDiedError(CommunicatorError):
 
     Raised by the process backend's liveness monitor when a child exits
     (segfault, OOM kill, ``kill -9``) before putting anything on the
-    result queue; ``ranks`` names the dead ranks.
+    result queue; ``ranks`` names the dead ranks.  The socket backend
+    raises it too -- from the heartbeat/reconnect failure detector -- and
+    then attaches ``heartbeat_age_s`` (seconds since the peer's last
+    heartbeat, ``None`` if none ever arrived) and ``address`` (the peer's
+    ``host:port``); thread/process messages are built by their callers
+    and stay unchanged.
     """
 
-    def __init__(self, message: str, ranks: tuple[int, ...] = ()) -> None:
+    def __init__(
+        self,
+        message: str,
+        ranks: tuple[int, ...] = (),
+        *,
+        heartbeat_age_s: float | None = None,
+        address: str | None = None,
+    ) -> None:
         super().__init__(message)
         self.ranks = tuple(ranks)
+        self.heartbeat_age_s = heartbeat_age_s
+        self.address = address
 
 
 class CheckpointError(ReproError):
@@ -126,6 +164,18 @@ class CheckpointError(ReproError):
     digest recorded at checkpoint time, or when a re-executed shard
     produces output whose digest differs from the persisted one --
     deterministic generation makes either a hard error, never retryable.
+    """
+
+
+class CheckpointCorruptionError(CheckpointError):
+    """A persisted artifact was damaged at rest and has been discarded.
+
+    Raised for truncated/corrupted ``.npz`` shards and manifest digest
+    mismatches discovered while *loading*.  Unlike its parent -- which the
+    supervisor treats as a hard determinism violation -- corruption at
+    rest is transient by construction: the loader deletes the damaged
+    artifact before raising, so a supervised retry regenerates the shard
+    from scratch and recovers bit-identically.
     """
 
 

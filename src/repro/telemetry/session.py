@@ -193,10 +193,29 @@ class RankTelemetry:
         if fc is None:
             return
         for name in ("dropped", "duplicated", "delayed", "deduplicated",
-                     "crashes"):
+                     "crashes", "disconnects", "partitions"):
             value = getattr(fc, name, 0)
             if value:
                 self.metrics.add(f"faults.{name}", value)
+
+    def harvest_sock_counters(self, comm) -> None:
+        """Copy the socket layer's liveness counters into the metrics.
+
+        ``sock_counters`` resolves through the wrapper stack to
+        :class:`~repro.distributed.sockcomm.SocketCounters` on the socket
+        backend; other backends have none and this is a no-op.  Only
+        non-zero fields are recorded, as ``sock.<field>`` -- which is how
+        reconnect/replay counts reach chaos reports and traces.
+        """
+        sc = getattr(comm, "sock_counters", None)
+        if sc is None:
+            return
+        for name in ("frames_sent", "frames_received", "deduplicated",
+                     "replayed", "disconnects", "reconnects",
+                     "heartbeats_sent", "heartbeats_received"):
+            value = getattr(sc, name, 0)
+            if value:
+                self.metrics.add(f"sock.{name}", value)
 
     def finalize(self, comm=None) -> RankTrace:
         """Snapshot this rank's telemetry; optionally world-aggregate.
@@ -207,6 +226,7 @@ class RankTelemetry:
         """
         if comm is not None:
             self.harvest_fault_counters(comm)
+            self.harvest_sock_counters(comm)
         snapshot = self.metrics.snapshot()
         aggregated = None
         if (
@@ -308,6 +328,12 @@ class _TelemetryRankFn:
 
         tel = RankTelemetry(self.config, comm.rank)
         icomm = InstrumentedCommunicator(comm, tel)
+        # The socket backend emits its own spans (heartbeat ticks,
+        # reconnects) once a sink is attached; other backends have no
+        # bind hook and skip this.
+        bind = getattr(icomm, "bind_telemetry", None)
+        if bind is not None:
+            bind(tel)
         try:
             result = self.fn(icomm, *args)
             return (result, tel.finalize(icomm))
@@ -351,9 +377,16 @@ class TelemetrySession:
         )
 
     def ingest(self, tagged_results: list) -> list:
-        """Unzip ``(result, RankTrace)`` pairs from an instrumented run."""
-        self.ranks = [snap for _, snap in tagged_results]
-        return [result for result, _ in tagged_results]
+        """Unzip ``(result, RankTrace)`` pairs from an instrumented run.
+
+        ``None`` entries pass through unchanged: a socket launch driving
+        only a subset of ranks (``local_ranks``) reports no result -- and
+        no trace -- for the ranks living on other hosts.
+        """
+        self.ranks = [pair[1] for pair in tagged_results if pair is not None]
+        return [
+            None if pair is None else pair[0] for pair in tagged_results
+        ]
 
     # ---- summaries -------------------------------------------------------
     def aggregated_metrics(self) -> dict[str, Any]:

@@ -131,3 +131,33 @@ class TestCli:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestParseRankSet:
+    def test_none_means_whole_world(self):
+        from repro.cli import _parse_rank_set
+
+        assert _parse_rank_set(None, 8) is None
+
+    @pytest.mark.parametrize(
+        "spec,expect",
+        [
+            ("0-3", (0, 1, 2, 3)),
+            ("0,2,5", (0, 2, 5)),
+            ("4-5,7", (4, 5, 7)),
+            ("3", (3,)),
+            ("1,1,0-1", (0, 1)),  # duplicates collapse, order sorts
+        ],
+    )
+    def test_parses_ranks_and_ranges(self, spec, expect):
+        from repro.cli import _parse_rank_set
+
+        assert _parse_rank_set(spec, 8) == expect
+
+    @pytest.mark.parametrize("bad", ["x", "1-", "", "8", "-1", "0-9"])
+    def test_rejects_malformed_or_out_of_world(self, bad):
+        from repro.cli import _parse_rank_set
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            _parse_rank_set(bad, 8)

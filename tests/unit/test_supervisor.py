@@ -266,3 +266,63 @@ class TestDegradation:
         # Degradation is sticky: later sends skip shm without re-warning.
         sender.send(payload, 1)
         np.testing.assert_array_equal(receiver.recv(0), payload)
+
+
+class TestDecorrelatedJitter:
+    def test_deterministic_given_seed(self):
+        import random
+
+        from repro.distributed.supervisor import decorrelated_jitter
+
+        def sequence(seed, steps=16):
+            rng = random.Random(seed)
+            delay, out = 0.05, []
+            for _ in range(steps):
+                delay = decorrelated_jitter(delay, 0.05, 3.0, 2.0, rng)
+                out.append(delay)
+            return out
+
+        assert sequence(7) == sequence(7)
+        assert sequence(7) != sequence(8)
+
+    def test_stays_within_exponential_envelope(self):
+        import random
+
+        from repro.distributed.supervisor import decorrelated_jitter
+
+        rng = random.Random(123)
+        base, factor, cap = 0.05, 3.0, 2.0
+        prev = base
+        for _ in range(200):
+            nxt = decorrelated_jitter(prev, base, factor, cap, rng)
+            assert base <= nxt <= min(cap, max(base, prev * factor))
+            prev = nxt
+
+    def test_cap_clamps(self):
+        import random
+
+        from repro.distributed.supervisor import decorrelated_jitter
+
+        rng = random.Random(0)
+        for _ in range(50):
+            assert decorrelated_jitter(100.0, 0.05, 3.0, 2.0, rng) <= 2.0
+
+    def test_zero_base_zero_prev_stays_zero(self):
+        # Tests that disable backoff (base=0) must keep sleeping 0s.
+        import random
+
+        from repro.distributed.supervisor import decorrelated_jitter
+
+        rng = random.Random(0)
+        assert decorrelated_jitter(0.0, 0.0, 3.0, 2.0, rng) == 0.0
+
+    def test_desynchronizes_identical_failures(self):
+        # Two ranks failing at the same instant with different seeds must
+        # not re-dial in lockstep -- the whole point of the jitter.
+        import random
+
+        from repro.distributed.supervisor import decorrelated_jitter
+
+        a = decorrelated_jitter(0.4, 0.05, 3.0, 2.0, random.Random(1))
+        b = decorrelated_jitter(0.4, 0.05, 3.0, 2.0, random.Random(2))
+        assert a != b
