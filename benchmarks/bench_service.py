@@ -1,0 +1,181 @@
+"""Service saturation benchmark: concurrency x batch-size sweep.
+
+Starts one in-process :class:`~repro.service.server.KronService` per
+cell, drives it with the seeded load generator over real loopback
+sockets, and writes ``BENCH_service.json`` (repo root by default) with
+the serving numbers the project tracks:
+
+* ``edge_queries_per_s``: batched edge-existence throughput of the lazy
+  product path (two vectorized binary searches per batch) -- the
+  headline number, with a >= 10k/s acceptance floor at every swept cell;
+* ``qps`` and ``latency_s`` p50/p90/p99: request-level service quality
+  per (concurrency, batch) cell;
+* ``cache_hit_rate``: server-side analytics-cache hit rate of a
+  repeated-analytics workload (the content-addressed cache must sit
+  above 90% once warm);
+* ``errors``: non-200 responses anywhere in the sweep (must be zero).
+
+Each cell is repeated ``--repeat`` times and the median-throughput run
+kept, matching the generation trajectory's noise policy.  Plain script,
+not a pytest-benchmark module: it owns an event loop and sockets, and
+``pyproject.toml`` keeps pytest collection out of ``benchmarks/``.
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--out BENCH_service.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+from pathlib import Path
+
+from repro.service import KronService, LoadGenConfig, ServiceConfig, run_loadgen
+from repro.telemetry.clock import wall_clock
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The sweep: worker counts crossed with pairs-per-request batch sizes.
+CONCURRENCY_SWEEP = (1, 4, 16)
+BATCH_SWEEP = (64, 512)
+
+#: Every request mix keeps a quarter of the load on the analytics cache
+#: (the rotation in :mod:`repro.service.loadgen` repeats 7 distinct
+#: property requests, so a warm cache converges to ~100% hits).
+ANALYTICS_FRACTION = 0.25
+
+
+async def run_cell(
+    concurrency: int, batch: int, requests: int, seed: int
+) -> dict:
+    """One sweep cell: fresh server, seeded loadgen, teardown."""
+    service = KronService(ServiceConfig(port=0))
+    await service.start()
+    try:
+        report = await run_loadgen(
+            LoadGenConfig(
+                port=service.bound_port,
+                seed=seed,
+                concurrency=concurrency,
+                requests=requests,
+                batch=batch,
+                analytics_fraction=ANALYTICS_FRACTION,
+            )
+        )
+    finally:
+        service.request_shutdown()
+        await service.serve_until_shutdown()
+    cache = report["server"]["cache"]
+    return {
+        "concurrency": concurrency,
+        "batch": batch,
+        "requests": report["requests"],
+        "errors": report["errors"],
+        "elapsed_s": report["elapsed_s"],
+        "qps": report["qps"],
+        "edge_queries_per_s": report["edge_queries_per_s"],
+        "latency_s": report["latency_s"],
+        "cache_hit_rate": cache["hit_rate"],
+        "cache_singleflights": cache["singleflights"],
+        "analytics_requests": report["analytics_requests"],
+    }
+
+
+def median_run(runs: list[dict]) -> dict:
+    runs = sorted(runs, key=lambda r: r["edge_queries_per_s"])
+    return runs[len(runs) // 2]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_service.json"),
+        help="output JSON path (default: BENCH_service.json at repo root)",
+    )
+    parser.add_argument("--requests", type=int, default=1500,
+                        help="requests per sweep cell")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="repetitions per cell; the median-throughput "
+                             "run is kept")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="workload seed")
+    parser.add_argument("--edge-floor", type=float, default=10_000.0,
+                        help="min edge-queries/s accepted at every cell")
+    parser.add_argument("--hit-floor", type=float, default=0.90,
+                        help="min warm analytics cache hit rate accepted")
+    args = parser.parse_args(argv)
+
+    cells = []
+    for concurrency in CONCURRENCY_SWEEP:
+        for batch in BATCH_SWEEP:
+            runs = [
+                asyncio.run(
+                    run_cell(
+                        concurrency, batch, args.requests, args.seed + rep
+                    )
+                )
+                for rep in range(args.repeat)
+            ]
+            cell = median_run(runs)
+            cells.append(cell)
+            print(
+                f"c={concurrency:<3d} batch={batch:<4d} "
+                f"{cell['qps']:>8.0f} req/s  "
+                f"{cell['edge_queries_per_s']:>10.0f} eq/s  "
+                f"p99 {cell['latency_s']['p99'] * 1e3:6.2f} ms  "
+                f"hit {cell['cache_hit_rate']:.1%}  "
+                f"errors {cell['errors']}"
+            )
+
+    peak = max(c["edge_queries_per_s"] for c in cells)
+    worst = min(c["edge_queries_per_s"] for c in cells)
+    hit = max(c["cache_hit_rate"] for c in cells)
+    errors = sum(c["errors"] for c in cells)
+    result = {
+        "benchmark": "service-saturation",
+        "timestamp_unix": wall_clock(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workload": {
+            "factors": "builtin K4+I (x) C5+I (n=20)",
+            "requests_per_cell": args.requests,
+            "repeat": args.repeat,
+            "stat": "median by edge_queries_per_s",
+            "analytics_fraction": ANALYTICS_FRACTION,
+            "seed": args.seed,
+            "transport": "loopback TCP, keep-alive HTTP/1.1",
+        },
+        "cells": cells,
+        "edge_queries_per_s_peak": peak,
+        "edge_queries_per_s_worst": worst,
+        "cache_hit_rate_best": hit,
+        "errors_total": errors,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"service benchmark written to {args.out}")
+    print(f"peak {peak:.0f} edge-queries/s, worst cell {worst:.0f}, "
+          f"warm cache hit rate {hit:.1%}, {errors} errors")
+
+    failed = False
+    if worst < args.edge_floor:
+        print(f"FAIL: {worst:.0f} edge-queries/s below the "
+              f"{args.edge_floor:.0f} floor")
+        failed = True
+    if hit < args.hit_floor:
+        print(f"FAIL: cache hit rate {hit:.1%} below {args.hit_floor:.0%}")
+        failed = True
+    if errors:
+        print(f"FAIL: {errors} error responses during the sweep")
+        failed = True
+    if not failed:
+        print("service saturation OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,55 +1,80 @@
-"""CI perf gate: rerun the trajectory benchmark against the committed baseline.
+"""CI perf gate: rerun a benchmark suite against its committed baseline.
 
-Re-measures the generation trajectory (median of ``--repeat`` runs, the
-stat least sensitive to a noisy CI neighbor) and compares the fused
-case's ``edges_per_s`` against the committed ``BENCH_generation.json``.
-Exits non-zero when the fused hot path regressed more than
-``--threshold`` (default 10%).
+Two suites share the same policy -- re-measure (median of ``--repeat``
+runs, the stat least sensitive to a noisy CI neighbor), compare the
+headline number against the committed JSON, fail past ``--threshold``
+(default 10%):
 
-The trajectory runs under the emulated interconnect
-(:mod:`repro.distributed.netsim`), so most of the kernel wall is
-deterministic wire time -- the committed number transfers across
-machines with only the compute share exposed to hardware variance.
+``--suite generation`` (default)
+    the distributed-generation trajectory vs ``BENCH_generation.json``;
+    headline is the fused case's ``edges_per_s``.  Runs under the
+    emulated interconnect (:mod:`repro.distributed.netsim`), so most of
+    the kernel wall is deterministic wire time -- the committed number
+    transfers across machines with only the compute share exposed to
+    hardware variance.  The async-pipeline ratios are printed (and
+    checked against a loose floor) but only the fused regression fails
+    the job.
 
-The async-pipeline ratios are printed (and checked against a loose
-floor) but only the fused regression fails the job: the async case's
-headline ratio is tracked by the committed baseline refresh, not per-CI
-variance.
+``--suite service``
+    the query-server saturation sweep vs ``BENCH_service.json``;
+    headline is the worst-cell ``edge_queries_per_s`` (every
+    concurrency x batch cell must stay within threshold of the
+    baseline's worst cell), plus the benchmark's own hard floors --
+    >= 10k edge-queries/s, > 90% warm cache hit rate, zero errors --
+    which fail the gate regardless of the committed baseline.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/check_regression.py [--repeat 5]
+    PYTHONPATH=src python benchmarks/check_regression.py [--suite service]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import sys
 import tempfile
 from pathlib import Path
-
-import trajectory
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--baseline",
-        default=str(REPO_ROOT / "BENCH_generation.json"),
-        help="committed baseline JSON (default: BENCH_generation.json)",
-    )
-    parser.add_argument("--repeat", type=int, default=5,
-                        help="repetitions; the median run is compared")
-    parser.add_argument("--threshold", type=float, default=0.10,
-                        help="max fused edges_per_s regression (fraction)")
-    parser.add_argument("--async-floor", type=float, default=1.2,
-                        help="min async-vs-fused speedup to accept")
-    args = parser.parse_args(argv)
+def check_service(args: argparse.Namespace) -> int:
+    import bench_service
 
-    with open(args.baseline, encoding="utf-8") as fh:
+    baseline_path = args.baseline or str(REPO_ROOT / "BENCH_service.json")
+    with open(baseline_path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+
+    out = Path(tempfile.mkdtemp()) / "bench_service_current.json"
+    rc = bench_service.main(
+        ["--out", str(out), "--repeat", str(args.repeat)]
+    )
+    if rc:
+        return rc  # the benchmark's own floors already failed
+    with open(out, encoding="utf-8") as fh:
+        current = json.load(fh)
+
+    base_worst = baseline["edge_queries_per_s_worst"]
+    cur_worst = current["edge_queries_per_s_worst"]
+    change = cur_worst / base_worst - 1.0
+    print()
+    print(f"worst-cell edge-queries/s: baseline {base_worst / 1e3:.0f}k, "
+          f"current {cur_worst / 1e3:.0f}k ({change:+.1%})")
+    print(f"warm cache hit rate: {current['cache_hit_rate_best']:.1%}, "
+          f"errors: {current['errors_total']}")
+    if change < -args.threshold:
+        print(f"FAIL: serving throughput regressed {-change:.1%} "
+              f"(> {args.threshold:.0%} threshold)")
+        return 1
+    print("perf gate OK")
+    return 0
+
+
+def check_generation(args: argparse.Namespace) -> int:
+    import trajectory
+
+    baseline_path = args.baseline or str(REPO_ROOT / "BENCH_generation.json")
+    with open(baseline_path, encoding="utf-8") as fh:
         baseline = json.load(fh)
 
     out = Path(tempfile.mkdtemp()) / "bench_current.json"
@@ -85,6 +110,29 @@ def main(argv: list[str] | None = None) -> int:
     if not failed:
         print("perf gate OK")
     return 1 if failed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", default="generation",
+                        choices=("generation", "service"),
+                        help="which benchmark/baseline pair to gate")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed baseline JSON (default: the suite's BENCH_*.json)",
+    )
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="repetitions; the median run is compared")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="max headline regression (fraction)")
+    parser.add_argument("--async-floor", type=float, default=1.2,
+                        help="min async-vs-fused speedup to accept "
+                             "(generation suite only)")
+    args = parser.parse_args(argv)
+    if args.suite == "service":
+        return check_service(args)
+    return check_generation(args)
 
 
 if __name__ == "__main__":

@@ -13,6 +13,8 @@ Kronecker graph", plus ground-truth and validation commands::
     repro-kron chaos --ranks 4 --seed 0           # seeded fault-injection matrix
     repro-kron trace --ranks 8 --out trace.json   # traced generation (Perfetto)
     repro-kron serve-rendezvous --port 9310       # roster server for --backend socket
+    repro-kron serve --port 0                     # ground-truth query server
+    repro-kron loadgen --target auto              # seeded saturation client
 
 Factor files are detected by extension: ``.txt``/``.tsv``/``.el`` (edge
 list), ``.npz`` (binary), ``.mtx``/``.mm`` (Matrix Market).
@@ -256,6 +258,138 @@ def cmd_serve_rendezvous(args: argparse.Namespace) -> int:
     finally:
         server.stop()
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the Kronecker ground-truth query server (:mod:`repro.service`).
+
+    Prints one machine-parseable line ``REPRO_SERVE host=<h> port=<p>``
+    once the listener is bound (``--port 0`` picks a free port, and this
+    line is how ``loadgen --target auto`` finds it).  Runs until Ctrl-C
+    or an authorized ``POST /v1/admin/shutdown``; with ``--trace-out``
+    the request trace is exported on the way down.
+    """
+    import asyncio
+
+    from repro.service import KronService, ServiceConfig
+
+    async def run() -> None:
+        service = KronService(
+            ServiceConfig(
+                host=args.host,
+                port=args.port,
+                cache_size=args.cache_size,
+                memo_size=args.memo_size,
+                allow_shutdown=not args.no_remote_shutdown,
+            )
+        )
+        await service.start()
+        print(
+            f"REPRO_SERVE host={args.host} port={service.bound_port}",
+            flush=True,
+        )
+        try:
+            await service.serve_until_shutdown()
+        finally:
+            if args.trace_out:
+                service.trace_session().write_chrome_trace(args.trace_out)
+                print(f"trace: {args.trace_out}", flush=True)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _loadgen_target(args: argparse.Namespace) -> tuple[str, int]:
+    """Resolve ``--target``: ``host:port``, or ``auto`` via the serve line.
+
+    ``auto`` reads the ``REPRO_SERVE host=... port=...`` line either from
+    the file ``--serve-output`` points at (polled until it appears -- the
+    CI pattern, with serve's stdout redirected) or from this process's
+    stdin (the pipe pattern: ``repro-kron serve | repro-kron loadgen
+    --target auto``).
+    """
+    import time
+
+    from repro.service.loadgen import parse_serve_line
+
+    if args.target != "auto":
+        host, sep, port = args.target.rpartition(":")
+        if not sep:
+            raise ReproError(
+                f"--target must be host:port or 'auto', got {args.target!r}"
+            )
+        return host, int(port)
+    if args.serve_output:
+        deadline = time.monotonic() + args.wait_s
+        while True:
+            try:
+                text = Path(args.serve_output).read_text(encoding="utf-8")
+                return parse_serve_line(text)
+            except (OSError, ReproError):
+                if time.monotonic() >= deadline:
+                    raise ReproError(
+                        f"no REPRO_SERVE line in {args.serve_output} "
+                        f"after {args.wait_s:.0f}s"
+                    ) from None
+                time.sleep(0.1)
+    for line in sys.stdin:
+        if line.startswith("REPRO_SERVE "):
+            return parse_serve_line(line)
+    raise ReproError("--target auto: no REPRO_SERVE line on stdin")
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a seeded workload against a running serve; print the report.
+
+    Exit code 0 iff every request succeeded.  ``--shutdown`` stops the
+    server afterwards (the CI service job uses serve + loadgen
+    ``--target auto --shutdown`` as a self-contained saturation check).
+    """
+    import asyncio
+    import json
+
+    from repro.service.loadgen import LoadGenConfig, run_loadgen
+
+    host, port = _loadgen_target(args)
+
+    def factor_payload(path: str | None) -> dict | None:
+        if path is None:
+            return None
+        el = _prepare(load_factor(path), args)
+        return {
+            "edges": [[int(u), int(v)] for u, v in zip(el.src, el.dst)],
+            "n": el.n,
+        }
+
+    config = LoadGenConfig(
+        host=host,
+        port=port,
+        seed=args.seed,
+        concurrency=args.concurrency,
+        requests=args.requests,
+        batch=args.batch,
+        analytics_fraction=args.analytics_fraction,
+        tenant=args.tenant,
+        factor_a=factor_payload(args.factor_a),
+        factor_b=factor_payload(args.factor_b),
+        shutdown=args.shutdown,
+    )
+    report = asyncio.run(run_loadgen(config))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(
+        f"loadgen: {report['requests']} requests, {report['errors']} errors, "
+        f"{report['qps']:.0f} req/s, "
+        f"{report['edge_queries_per_s']:.0f} edge-queries/s, "
+        f"p99 {report['latency_s']['p99'] * 1e3:.2f} ms",
+        file=sys.stderr,
+    )
+    return 1 if report["errors"] else 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -534,6 +668,64 @@ def build_parser() -> argparse.ArgumentParser:
     rz.add_argument("--port", type=int, default=9310,
                     help="port to listen on (0 picks a free port)")
     rz.set_defaults(func=cmd_serve_rendezvous)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the multi-tenant Kronecker ground-truth query server",
+    )
+    sv.add_argument("--host", default="127.0.0.1",
+                    help="interface to bind (default: loopback)")
+    sv.add_argument("--port", type=int, default=0,
+                    help="port to listen on (0 picks a free port; the "
+                         "bound port is printed as a REPRO_SERVE line)")
+    sv.add_argument("--cache-size", type=int, default=512,
+                    help="analytics cache entries (LRU beyond this)")
+    sv.add_argument("--memo-size", type=int, default=256,
+                    help="ground-truth factor-memo entries")
+    sv.add_argument("--trace-out", default=None,
+                    help="write the request trace (Chrome/Perfetto JSON) "
+                         "here on shutdown")
+    sv.add_argument("--no-remote-shutdown", action="store_true",
+                    help="disable POST /v1/admin/shutdown")
+    sv.set_defaults(func=cmd_serve)
+
+    lg = sub.add_parser(
+        "loadgen",
+        help="seeded load generator against a running serve",
+    )
+    lg.add_argument("factor_a", nargs="?", default=None,
+                    help="factor A file to register (default: built-in K4)")
+    lg.add_argument("factor_b", nargs="?", default=None,
+                    help="factor B file to register (default: built-in C5)")
+    lg.add_argument("--symmetrize", action="store_true",
+                    help="symmetrize factors after reading (directed inputs)")
+    lg.add_argument("--self-loops", action="store_true",
+                    help="add a self loop on every factor vertex")
+    lg.add_argument("--target", default="auto",
+                    help="host:port of the server, or 'auto' to read the "
+                         "REPRO_SERVE line from --serve-output or stdin")
+    lg.add_argument("--serve-output", default=None,
+                    help="file capturing serve's stdout (for --target auto "
+                         "when not piped)")
+    lg.add_argument("--wait-s", type=float, default=30.0,
+                    help="how long --target auto polls --serve-output")
+    lg.add_argument("--seed", type=int, default=7,
+                    help="workload seed (same seed -> same requests)")
+    lg.add_argument("--concurrency", type=int, default=8,
+                    help="concurrent workers, one connection each")
+    lg.add_argument("--requests", type=int, default=2000,
+                    help="total requests across all workers")
+    lg.add_argument("--batch", type=int, default=256,
+                    help="pairs per edge-query batch")
+    lg.add_argument("--analytics-fraction", type=float, default=0.25,
+                    help="fraction of requests that hit the analytics cache")
+    lg.add_argument("--tenant", default="loadgen",
+                    help="tenant name to register and query under")
+    lg.add_argument("--out", default=None,
+                    help="also write the JSON report to this file")
+    lg.add_argument("--shutdown", action="store_true",
+                    help="POST /v1/admin/shutdown when the run completes")
+    lg.set_defaults(func=cmd_loadgen)
     return parser
 
 

@@ -21,6 +21,11 @@ __all__ = [
     "RankDiedError",
     "CheckpointError",
     "CheckpointCorruptionError",
+    "ServiceError",
+    "RequestError",
+    "TenantNotFoundError",
+    "GraphNotFoundError",
+    "CacheCorruptionError",
     "ExperimentError",
     "ReproWarning",
     "DegradationWarning",
@@ -177,6 +182,84 @@ class CheckpointCorruptionError(CheckpointError):
     artifact before raising, so a supervised retry regenerates the shard
     from scratch and recovers bit-identically.
     """
+
+
+class ServiceError(ReproError):
+    """A ground-truth query-service request failed.
+
+    Structured: ``digest`` names the content address involved (a factor or
+    graph digest, hex string), ``property`` the analytics property, and
+    ``params`` the request parameters -- so the service can emit machine-
+    readable error bodies and operators can alert on fields instead of
+    parsing messages.  ``http_status``/``code`` give every subclass a
+    *deterministic* HTTP mapping: the same failure always produces the
+    same status line and JSON ``error`` code.
+    """
+
+    http_status = 500
+    code = "service_error"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        digest: str | None = None,
+        property: str | None = None,
+        params: dict | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.digest = digest
+        self.property = property
+        self.params = params
+
+    def context(self) -> dict:
+        """The non-``None`` structured fields, for JSON error bodies."""
+        out: dict = {}
+        if self.digest is not None:
+            out["digest"] = self.digest
+        if self.property is not None:
+            out["property"] = self.property
+        if self.params is not None:
+            out["params"] = self.params
+        return out
+
+
+class RequestError(ServiceError):
+    """A request was malformed (bad JSON, missing field, bad vertex id)."""
+
+    http_status = 400
+    code = "bad_request"
+
+
+class TenantNotFoundError(ServiceError):
+    """A request named a tenant that has registered nothing."""
+
+    http_status = 404
+    code = "tenant_not_found"
+
+    def __init__(self, tenant: str, **kw) -> None:
+        super().__init__(f"unknown tenant {tenant!r}", **kw)
+        self.tenant = tenant
+
+
+class GraphNotFoundError(ServiceError):
+    """A request named a graph digest the tenant never registered."""
+
+    http_status = 404
+    code = "graph_not_found"
+
+
+class CacheCorruptionError(ServiceError):
+    """A cached analytics payload failed its integrity digest on read.
+
+    The analytics cache stores a content digest next to every payload;
+    a mismatch means the entry was damaged in place.  The cache evicts
+    the damaged entry before raising, so a *retry* of the same request
+    recomputes from ground truth and repairs the cache.
+    """
+
+    http_status = 500
+    code = "cache_corruption"
 
 
 class ExperimentError(ReproError):

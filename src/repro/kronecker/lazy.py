@@ -48,6 +48,19 @@ class KroneckerGraph:
         self.n_b = factor_b.n
         self._loops_a = self.csr_a.self_loop_mask()
         self._loops_b = self.csr_b.self_loop_mask()
+        # Row-major edge keys per factor (src * n + dst over the sorted
+        # CSR) -- globally sorted, so *batched* membership is one
+        # searchsorted per factor.  Built lazily on the first batch query.
+        self._keys_a: np.ndarray | None = None
+        self._keys_b: np.ndarray | None = None
+
+    @staticmethod
+    def _edge_keys(csr: CSRGraph) -> np.ndarray:
+        """Sorted row-major keys ``src * n + dst`` of all CSR edges."""
+        src = np.repeat(
+            np.arange(csr.n, dtype=np.int64), np.diff(csr.indptr)
+        )
+        return src * np.int64(csr.n) + csr.indices
 
     # ------------------------------------------------------------------ #
     # global counts (O(1) after construction)
@@ -88,6 +101,35 @@ class KroneckerGraph:
         i, k = divmod(int(p), self.n_b)
         j, l = divmod(int(q), self.n_b)
         return self.csr_a.has_edge(i, j) and self.csr_b.has_edge(k, l)
+
+    def has_edges(self, p: np.ndarray, q: np.ndarray) -> np.ndarray:
+        """Vectorized edge membership for aligned endpoint arrays.
+
+        ``C_pq = A_{alpha(p),alpha(q)} B_{beta(p),beta(q)}`` evaluated for
+        the whole batch with two binary searches over precomputed sorted
+        row-major factor edge keys -- ``O(log |E|)`` per pair, no Python
+        loop.  This is the serving hot path of :mod:`repro.service`.
+        """
+        p = np.asarray(p, dtype=np.int64)
+        q = np.asarray(q, dtype=np.int64)
+        if self._keys_a is None:
+            self._keys_a = self._edge_keys(self.csr_a)
+            self._keys_b = self._edge_keys(self.csr_b)
+        i, k = np.divmod(p, np.int64(self.n_b))
+        j, l = np.divmod(q, np.int64(self.n_b))
+        want_a = i * np.int64(self.n_a) + j
+        want_b = k * np.int64(self.n_b) + l
+        out = np.zeros(p.shape, dtype=bool)
+        pos_a = np.searchsorted(self._keys_a, want_a)
+        hit_a = pos_a < len(self._keys_a)
+        hit_a[hit_a] = self._keys_a[pos_a[hit_a]] == want_a[hit_a]
+        if not hit_a.any():
+            return out
+        pos_b = np.searchsorted(self._keys_b, want_b[hit_a])
+        hit_b = pos_b < len(self._keys_b)
+        hit_b[hit_b] = self._keys_b[pos_b[hit_b]] == want_b[hit_a][hit_b]
+        out[hit_a] = hit_b
+        return out
 
     def neighbors(self, p: int) -> np.ndarray:
         """Sorted neighbor ids of ``p`` in C (computed, not stored).

@@ -1,15 +1,16 @@
-"""wall-clock: distributed code must take time from ``repro.telemetry.clock``.
+"""wall-clock: distributed/serving code takes time from ``repro.telemetry.clock``.
 
 The telemetry layer injects clocks (:mod:`repro.telemetry.clock`): spans
 and metrics are timestamped by a callable the session configures, so
 tests swap in a :class:`~repro.telemetry.clock.FakeClock` and get
 deterministic traces, and the measurement clock is one config choice
 instead of a grep.  A direct ``time.time()`` / ``time.perf_counter()``
-inside ``distributed/`` bypasses the injection point: the reading never
-appears in a trace, cannot be faked in tests, and (for ``time.time``)
-jumps under NTP adjustments mid-run.
+inside ``distributed/`` or ``service/`` bypasses the injection point:
+the reading never appears in a trace, cannot be faked in tests, and
+(for ``time.time``) jumps under NTP adjustments mid-run.
 
-Scoped to ``distributed/``, this rule flags
+Scoped to ``distributed/`` and ``service/`` (the query server's request
+latencies feed the same histograms and traces), this rule flags
 
 * calls to ``time.time`` / ``time.perf_counter`` / ``time.monotonic`` /
   ``time.process_time`` (and their ``_ns`` variants) through the module
@@ -60,7 +61,7 @@ class WallClockRule(Rule):
         "distributed code must take time from repro.telemetry.clock "
         "(injected, fakeable), not time.time()/perf_counter() directly"
     )
-    scope_dirs = ("distributed",)
+    scope_dirs = ("distributed", "service")
 
     def check(self, tree: ast.Module, ctx: LintContext) -> Iterable[Finding]:
         out: list[Finding] = []
@@ -77,8 +78,8 @@ class WallClockRule(Rule):
                         ctx.finding(
                             self,
                             node,
-                            f"direct time.{func.attr}() in distributed "
-                            f"code: use repro.telemetry.clock "
+                            f"direct time.{func.attr}() in distributed/"
+                            f"serving code: use repro.telemetry.clock "
                             f"(monotonic for deadlines, perf_clock for "
                             f"measurement) so the clock stays injectable "
                             f"and fakeable in tests",
@@ -94,7 +95,7 @@ class WallClockRule(Rule):
                                 self,
                                 node,
                                 f"importing {alias.name!r} from time in "
-                                f"distributed code: use "
+                                f"distributed/serving code: use "
                                 f"repro.telemetry.clock instead so the "
                                 f"clock stays injectable and fakeable "
                                 f"in tests",

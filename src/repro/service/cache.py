@@ -1,0 +1,174 @@
+"""LRU + content-addressed analytics result cache with single-flight dedup.
+
+Cache keys are ``(digest_A, digest_B, property, params_key)`` -- the
+content address of the *answer*, since every ground-truth property is a
+pure function of the factors and parameters.  Entries store the result
+pre-serialized as canonical JSON bytes plus an integrity digest
+(:func:`repro.util.hashing.mix_tokens` of the payload); every hit
+re-derives the digest, and a mismatch evicts the damaged entry and
+raises :class:`~repro.errors.CacheCorruptionError` -- a retry of the
+same request recomputes and repairs.
+
+Duplicate in-flight requests are *single-flighted*: the first request
+for a key computes while later arrivals await the same
+``asyncio.Future``, so a thundering herd on a cold expensive property
+costs one computation.  Counters (``service.cache.hit`` / ``.miss`` /
+``.eviction`` / ``.singleflight`` / ``.corruption``) land in whatever
+metrics registry the server attaches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Callable
+
+from repro.errors import CacheCorruptionError
+from repro.util.hashing import mix_tokens
+
+__all__ = ["AnalyticsCache", "cache_key", "payload_digest"]
+
+
+def cache_key(
+    digest_a: str, digest_b: str, property_name: str, params_key: str
+) -> tuple[str, str, str, str]:
+    """The canonical cache key tuple."""
+    return (digest_a, digest_b, property_name, params_key)
+
+
+def payload_digest(payload: bytes) -> int:
+    """Integrity digest of a serialized result payload."""
+    return mix_tokens([payload.decode("utf-8")], seed=len(payload))
+
+
+class _Entry:
+    __slots__ = ("payload", "digest")
+
+    def __init__(self, payload: bytes, digest: int) -> None:
+        self.payload = payload
+        self.digest = digest
+
+
+class AnalyticsCache:
+    """Bounded LRU of serialized analytics results, single-flighted.
+
+    ``metrics`` is anything with ``add(name, value=1)`` (e.g. a
+    :class:`~repro.telemetry.metrics.MetricsRegistry`); ``None`` disables
+    counter export but :attr:`hits` / :attr:`misses` attributes still
+    count locally so benchmarks can report hit rates without telemetry.
+    """
+
+    def __init__(self, maxsize: int = 512, metrics: Any | None = None) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self.metrics = metrics
+        self._entries: dict[tuple, _Entry] = {}
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.singleflights = 0
+        self.corruptions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.add(f"service.cache.{name}")
+
+    # ---- synchronous core ----------------------------------------------
+    def lookup(self, key: tuple) -> bytes | None:
+        """Integrity-checked hit, or ``None`` on miss.
+
+        Raises :class:`CacheCorruptionError` (after evicting the entry)
+        when the stored payload no longer matches its recorded digest.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            self._count("miss")
+            return None
+        if payload_digest(entry.payload) != entry.digest:
+            del self._entries[key]
+            self.corruptions += 1
+            self._count("corruption")
+            digest_a, digest_b, prop, params = key
+            raise CacheCorruptionError(
+                f"cached payload for {prop} on {digest_a}x{digest_b} failed "
+                f"its integrity digest; entry evicted, retry recomputes",
+                digest=f"{digest_a}x{digest_b}",
+                property=prop,
+                params=json.loads(params) if params else None,
+            )
+        # Re-insert to mark recency (dict preserves insertion order).
+        del self._entries[key]
+        self._entries[key] = entry
+        self.hits += 1
+        self._count("hit")
+        return entry.payload
+
+    def insert(self, key: tuple, payload: bytes) -> None:
+        """Store a serialized result, evicting LRU entries past maxsize."""
+        self._entries[key] = _Entry(payload, payload_digest(payload))
+        while len(self._entries) > self.maxsize:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            self.evictions += 1
+            self._count("eviction")
+
+    # ---- async single-flight front door --------------------------------
+    async def get_or_compute(
+        self, key: tuple, compute: Callable[[], Any]
+    ) -> tuple[bytes, bool]:
+        """Serve ``key`` from cache, computing once under duplicate load.
+
+        ``compute`` runs synchronously in the event loop (ground-truth
+        formulas on registered factors are sub-millisecond at serving
+        scale); its result is serialized to canonical JSON bytes, cached,
+        and returned.  Returns ``(payload, was_hit)``.
+
+        Concurrent callers with the same key while a computation is in
+        flight await the first caller's future instead of recomputing;
+        they are counted under ``singleflight`` and return ``was_hit=True``
+        (the work was shared, not redone).
+        """
+        payload = self.lookup(key)
+        if payload is not None:
+            return payload, True
+
+        pending = self._inflight.get(key)
+        if pending is not None:
+            self.singleflights += 1
+            self._count("singleflight")
+            payload = await asyncio.shield(pending)
+            return payload, True
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        try:
+            value = compute()
+            payload = (
+                json.dumps(value, sort_keys=True, separators=(",", ":"))
+            ).encode("utf-8")
+            self.insert(key, payload)
+            future.set_result(payload)
+            return payload, False
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+            # Awaiters see the error; nobody retries *within* the flight.
+            raise
+        finally:
+            del self._inflight[key]
+            if future.done() and future.exception() is not None:
+                # Avoid "exception never retrieved" warnings when no
+                # duplicate was waiting.
+                future.exception()

@@ -1,0 +1,315 @@
+"""Seeded load generator + minimal keep-alive HTTP client.
+
+:class:`HTTPClient` is the client half of :mod:`repro.service.protocol`:
+one persistent connection, sized JSON bodies, blocking request/response
+(each worker owns its own client, concurrency comes from running many
+workers).  :func:`run_loadgen` drives a mixed workload -- batched edge
+queries against a registered product plus repeated analytics requests --
+from a :func:`~repro.util.hashing.splitmix64` stream, so a seeded run
+replays the same request sequence every time.  Latencies come from the
+injected :func:`~repro.telemetry.clock.perf_clock`; the report carries
+QPS, edge-queries/s, p50/p99, error counts, and the server's own cache
+hit rate read back from ``/v1/metrics``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.telemetry.clock import perf_clock
+from repro.util.hashing import splitmix64_int
+
+__all__ = [
+    "HTTPClient",
+    "LoadGenConfig",
+    "run_loadgen",
+    "parse_serve_line",
+    "DEFAULT_FACTOR_A",
+    "DEFAULT_FACTOR_B",
+]
+
+#: Built-in benchmark factors: K4 and C5 with full self loops -- small
+#: enough to register in one request, product n = 20, every analytics
+#: hypothesis (connected, symmetric, full loops) satisfied.
+DEFAULT_FACTOR_A = {
+    "edges": [[u, v] for u in range(4) for v in range(4) if u != v],
+    "n": 4,
+    "self_loops": True,
+}
+DEFAULT_FACTOR_B = {
+    "edges": [[u, (u + 1) % 5] for u in range(5)],
+    "n": 5,
+    "symmetrize": True,
+    "self_loops": True,
+}
+
+
+def parse_serve_line(text: str) -> tuple[str, int]:
+    """Extract ``(host, port)`` from ``repro-kron serve`` stdout.
+
+    The serve command prints one machine-parseable line
+    ``REPRO_SERVE host=<h> port=<p>`` when the listener is bound; this
+    is the ``--target auto`` contract.
+    """
+    for line in text.splitlines():
+        if line.startswith("REPRO_SERVE "):
+            fields = dict(
+                token.split("=", 1)
+                for token in line.split()[1:]
+                if "=" in token
+            )
+            if "host" in fields and "port" in fields:
+                return fields["host"], int(fields["port"])
+    raise ServiceError(f"no REPRO_SERVE line in {text[:200]!r}")
+
+
+class HTTPClient:
+    """One persistent HTTP/1.1 connection speaking the service's JSON API."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> "HTTPClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def aclose(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionError:
+                pass
+            self._reader = self._writer = None
+
+    async def request(
+        self, method: str, path: str, payload: Any | None = None
+    ) -> tuple[int, Any]:
+        """One round trip; returns ``(status, decoded_json_body)``."""
+        if self._writer is None or self._reader is None:
+            raise ServiceError("client is not connected")
+        body = (
+            b""
+            if payload is None
+            else json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        )
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+        status, doc = await self._read_response()
+        return status, doc
+
+    async def _read_response(self) -> tuple[int, Any]:
+        reader = self._reader
+        assert reader is not None
+        head = await reader.readuntil(b"\r\n\r\n")
+        lines = head[:-4].decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ", 2)[1])
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = await reader.readexactly(length) if length else b""
+        doc = json.loads(raw) if raw else None
+        return status, doc
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """A seeded, replayable workload description."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    seed: int = 7
+    #: Concurrent workers (each with its own keep-alive connection).
+    concurrency: int = 8
+    #: Total requests across all workers.
+    requests: int = 2000
+    #: Pairs per edge-query batch.
+    batch: int = 256
+    #: Fraction of requests that are analytics (the rest are edge batches
+    #: with an occasional degree batch mixed in).
+    analytics_fraction: float = 0.25
+    tenant: str = "loadgen"
+    #: Factor payloads to register; ``None`` -> the built-in K4/C5 pair.
+    factor_a: dict | None = None
+    factor_b: dict | None = None
+    #: POST /v1/admin/shutdown when the run completes.
+    shutdown: bool = False
+
+
+@dataclass
+class _WorkerStats:
+    latencies: list[float] = field(default_factory=list)
+    errors: int = 0
+    edge_queries: int = 0
+    analytics: int = 0
+    cached_analytics: int = 0
+
+
+#: The analytics rotation loadgen cycles through (params per property).
+_ANALYTICS_ROTATION: tuple[tuple[str, dict], ...] = (
+    ("summary", {}),
+    ("triangles", {"convention": "no_loops"}),
+    ("triangles", {"convention": "full_loops"}),
+    ("degree_histogram", {}),
+    ("eccentricity_histogram", {}),
+    ("closeness", {"p": 0}),
+    ("community", {"set_a": [0, 1], "set_b": [0, 1, 2]}),
+)
+
+
+async def _worker(
+    worker_id: int,
+    config: LoadGenConfig,
+    graph_key: str,
+    n: int,
+    quota: int,
+    stats: _WorkerStats,
+) -> None:
+    client = await HTTPClient(config.host, config.port).connect()
+    base = f"/v1/tenants/{config.tenant}/graphs/{graph_key}"
+    # Per-worker deterministic stream: decisions and vertex ids both come
+    # from splitmix64 of (seed, worker, counter).
+    state = splitmix64_int((config.seed << 8) ^ worker_id)
+    try:
+        for step in range(quota):
+            state = splitmix64_int(state + 1)
+            roll = (state & 0xFFFF) / 65536.0
+            t0 = perf_clock()
+            if roll < config.analytics_fraction:
+                prop, params = _ANALYTICS_ROTATION[
+                    state % len(_ANALYTICS_ROTATION)
+                ]
+                status, doc = await client.request(
+                    "POST", f"{base}/analytics/{prop}", {"params": params}
+                )
+                stats.analytics += 1
+                if status == 200 and doc.get("cached"):
+                    stats.cached_analytics += 1
+            elif roll < config.analytics_fraction + 0.05:
+                vertices = [
+                    splitmix64_int(state + 7 * j) % n
+                    for j in range(min(config.batch, 64))
+                ]
+                status, doc = await client.request(
+                    "POST", f"{base}/degrees", {"vertices": vertices}
+                )
+            else:
+                pairs = [
+                    [
+                        splitmix64_int(state + 2 * j) % n,
+                        splitmix64_int(state + 2 * j + 1) % n,
+                    ]
+                    for j in range(config.batch)
+                ]
+                status, doc = await client.request(
+                    "POST", f"{base}/edges", {"pairs": pairs}
+                )
+                stats.edge_queries += len(pairs)
+            stats.latencies.append(perf_clock() - t0)
+            if status != 200:
+                stats.errors += 1
+    finally:
+        await client.aclose()
+
+
+async def run_loadgen(config: LoadGenConfig) -> dict[str, Any]:
+    """Register the target graph, run the workload, report.
+
+    Returns a JSON-ready report with throughput (``qps``,
+    ``edge_queries_per_s``), latency quantiles (seconds), error counts,
+    and the server-side cache/metrics snapshot.
+    """
+    setup = await HTTPClient(config.host, config.port).connect()
+    try:
+        status, doc = await setup.request(
+            "POST",
+            f"/v1/tenants/{config.tenant}/graphs",
+            {
+                "a": config.factor_a or DEFAULT_FACTOR_A,
+                "b": config.factor_b or DEFAULT_FACTOR_B,
+            },
+        )
+        if status != 200:
+            raise ServiceError(f"graph registration failed: {status} {doc}")
+        graph_key = doc["graph"]
+        n = int(doc["n"])
+
+        workers = max(1, config.concurrency)
+        quotas = [config.requests // workers] * workers
+        for w in range(config.requests % workers):
+            quotas[w] += 1
+        stats = [_WorkerStats() for _ in range(workers)]
+        t0 = perf_clock()
+        await asyncio.gather(
+            *(
+                _worker(w, config, graph_key, n, quotas[w], stats[w])
+                for w in range(workers)
+            )
+        )
+        elapsed = perf_clock() - t0
+
+        _, metrics_doc = await setup.request("GET", "/v1/metrics")
+        if config.shutdown:
+            await setup.request("POST", "/v1/admin/shutdown")
+    finally:
+        await setup.aclose()
+
+    latencies = np.sort(
+        np.concatenate(
+            [np.asarray(s.latencies, dtype=np.float64) for s in stats]
+        )
+        if any(s.latencies for s in stats)
+        else np.zeros(1)
+    )
+    total = int(sum(len(s.latencies) for s in stats))
+    analytics = int(sum(s.analytics for s in stats))
+    cached = int(sum(s.cached_analytics for s in stats))
+    report = {
+        "config": {
+            "seed": config.seed,
+            "concurrency": config.concurrency,
+            "requests": config.requests,
+            "batch": config.batch,
+            "analytics_fraction": config.analytics_fraction,
+        },
+        "elapsed_s": elapsed,
+        "requests": total,
+        "errors": int(sum(s.errors for s in stats)),
+        "qps": total / elapsed if elapsed > 0 else 0.0,
+        "edge_queries": int(sum(s.edge_queries for s in stats)),
+        "edge_queries_per_s": (
+            sum(s.edge_queries for s in stats) / elapsed
+            if elapsed > 0
+            else 0.0
+        ),
+        "analytics_requests": analytics,
+        "analytics_cached_fraction": cached / analytics if analytics else 0.0,
+        "latency_s": {
+            "p50": float(np.quantile(latencies, 0.50)),
+            "p90": float(np.quantile(latencies, 0.90)),
+            "p99": float(np.quantile(latencies, 0.99)),
+            "max": float(latencies[-1]),
+        },
+        "server": metrics_doc,
+    }
+    return report

@@ -1,0 +1,172 @@
+"""Content-addressed multi-tenant factor / graph registry.
+
+Factors are registered into a *global* content-addressed pool: the same
+edge set always maps to the same 16-hex-digit digest
+(:func:`repro.groundtruth.memo.factor_digest`), so two tenants uploading
+the same factor share one stored :class:`~repro.graph.edgelist.EdgeList`
+and one CSR.  *Graphs* -- lazy Kronecker products of two registered
+factors -- are per-tenant: a tenant can only query products it
+registered, but the underlying :class:`KroneckerGraph` object is shared
+through the same content addressing (``graph key = digest_A + "x" +
+digest_B``), so the analytics cache warms across tenants.
+
+Nothing here is async; the registry is plain data guarded by the event
+loop's single-threaded execution (the server never awaits while mutating
+it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GraphNotFoundError, RequestError, TenantNotFoundError
+from repro.graph.edgelist import EdgeList
+from repro.groundtruth.memo import factor_digest
+from repro.kronecker.lazy import KroneckerGraph
+
+__all__ = ["digest_hex", "GraphHandle", "ServiceRegistry"]
+
+
+def digest_hex(digest: int) -> str:
+    """Canonical 16-hex-digit rendering of a 64-bit content digest."""
+    return f"{digest & 0xFFFFFFFFFFFFFFFF:016x}"
+
+
+@dataclass(frozen=True)
+class GraphHandle:
+    """One registered product: the lazy graph plus its content address."""
+
+    key: str
+    digest_a: str
+    digest_b: str
+    graph: KroneckerGraph
+
+    def summary(self) -> dict:
+        g = self.graph
+        return {
+            "graph": self.key,
+            "factor_a": self.digest_a,
+            "factor_b": self.digest_b,
+            "n": g.n,
+            "m_directed": g.m_directed,
+            "num_self_loops": g.num_self_loops,
+            "factors": {
+                "a": {"n": g.n_a, "m_directed": g.factor_a.m_directed},
+                "b": {"n": g.n_b, "m_directed": g.factor_b.m_directed},
+            },
+        }
+
+
+@dataclass
+class _Tenant:
+    graphs: dict[str, GraphHandle] = field(default_factory=dict)
+
+
+class ServiceRegistry:
+    """Factor pool + per-tenant graph table."""
+
+    def __init__(self) -> None:
+        self._factors: dict[str, EdgeList] = {}
+        self._graphs: dict[str, KroneckerGraph] = {}  # content-addressed pool
+        self._tenants: dict[str, _Tenant] = {}
+
+    # ---- factors --------------------------------------------------------
+    def register_factor(self, el: EdgeList) -> str:
+        """Insert a factor into the content-addressed pool; returns digest.
+
+        Idempotent: re-registering the same edge set returns the existing
+        digest and keeps the first stored object (content addressing makes
+        them interchangeable).
+        """
+        digest = digest_hex(factor_digest(el))
+        self._factors.setdefault(digest, el)
+        return digest
+
+    def factor(self, digest: str) -> EdgeList:
+        el = self._factors.get(digest)
+        if el is None:
+            raise GraphNotFoundError(
+                f"no factor registered under digest {digest!r}", digest=digest
+            )
+        return el
+
+    def factor_from_payload(self, doc: dict) -> EdgeList:
+        """Build an EdgeList from a request payload.
+
+        ``{"edges": [[u, v], ...], "n": int?, "symmetrize": bool?,
+        "self_loops": bool?}`` -- the same preprocessing flags the CLI
+        exposes, so a served factor equals a locally loaded one.
+        """
+        if not isinstance(doc, dict) or "edges" not in doc:
+            raise RequestError("factor payload must be {'edges': [[u,v],...]}")
+        edges = doc["edges"]
+        if not isinstance(edges, list):
+            raise RequestError("'edges' must be a list of [u, v] pairs")
+        arr = np.asarray(edges, dtype=np.int64).reshape(-1, 2) if edges else (
+            np.empty((0, 2), dtype=np.int64)
+        )
+        el = EdgeList(arr, doc.get("n"))
+        if doc.get("symmetrize"):
+            el = el.symmetrized()
+        if doc.get("self_loops"):
+            el = el.with_full_self_loops()
+        return el
+
+    # ---- tenants / graphs ----------------------------------------------
+    def ensure_tenant(self, tenant: str) -> None:
+        """Create ``tenant`` if new (tenants exist by registering things)."""
+        self._tenant(tenant, create=True)
+
+    def _tenant(self, tenant: str, *, create: bool = False) -> _Tenant:
+        t = self._tenants.get(tenant)
+        if t is None:
+            if not create:
+                raise TenantNotFoundError(tenant)
+            t = self._tenants[tenant] = _Tenant()
+        return t
+
+    def register_graph(
+        self, tenant: str, digest_a: str, digest_b: str
+    ) -> GraphHandle:
+        """Register the product ``A (x) B`` for ``tenant``.
+
+        Both factors must already be in the pool.  The lazy graph object
+        is shared across tenants through the content-addressed pool.
+        """
+        a = self.factor(digest_a)
+        b = self.factor(digest_b)
+        key = f"{digest_a}x{digest_b}"
+        graph = self._graphs.get(key)
+        if graph is None:
+            graph = self._graphs[key] = KroneckerGraph(a, b)
+        handle = GraphHandle(
+            key=key, digest_a=digest_a, digest_b=digest_b, graph=graph
+        )
+        self._tenant(tenant, create=True).graphs[key] = handle
+        return handle
+
+    def graph(self, tenant: str, key: str) -> GraphHandle:
+        handle = self._tenant(tenant).graphs.get(key)
+        if handle is None:
+            raise GraphNotFoundError(
+                f"tenant {tenant!r} has no graph {key!r}", digest=key
+            )
+        return handle
+
+    def graphs_of(self, tenant: str) -> list[GraphHandle]:
+        t = self._tenant(tenant)
+        return [t.graphs[k] for k in sorted(t.graphs)]
+
+    @property
+    def num_factors(self) -> int:
+        return len(self._factors)
+
+    @property
+    def num_graphs(self) -> int:
+        return len(self._graphs)
+
+    @property
+    def tenants(self) -> list[str]:
+        return sorted(self._tenants)

@@ -1,0 +1,181 @@
+"""Unit tests for the service HTTP protocol layer and error mapping."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import (
+    AssumptionError,
+    CacheCorruptionError,
+    GraphNotFoundError,
+    ReproError,
+    RequestError,
+    ServiceError,
+    TenantNotFoundError,
+)
+from repro.service.protocol import (
+    HTTPRequest,
+    error_payload,
+    read_request,
+    render_response,
+    status_of,
+)
+
+
+def parse(raw: bytes, max_body: int = 1 << 20):
+    """Feed raw bytes through read_request on a throwaway loop."""
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, max_body)
+
+    return asyncio.run(run())
+
+
+def req(method="POST", path="/x", body=b"", extra=""):
+    return (
+        f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+        f"Content-Length: {len(body)}\r\n{extra}\r\n"
+    ).encode() + body
+
+
+class TestReadRequest:
+    def test_basic_post_with_body(self):
+        body = json.dumps({"pairs": [[0, 1]]}).encode()
+        r = parse(req(body=body))
+        assert r.method == "POST"
+        assert r.path == "/x"
+        assert r.body == body
+        assert r.json() == {"pairs": [[0, 1]]}
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_keep_alive_default_and_close(self):
+        assert parse(req()).keep_alive
+        assert not parse(req(extra="Connection: close\r\n")).keep_alive
+
+    def test_headers_lowercased(self):
+        r = parse(req(extra="X-Thing: Value\r\n"))
+        assert r.headers["x-thing"] == "Value"
+
+    def test_malformed_request_line(self):
+        with pytest.raises(RequestError):
+            parse(b"NONSENSE\r\n\r\n")
+
+    def test_mid_request_eof(self):
+        with pytest.raises(RequestError):
+            parse(b"GET /x HTTP/1.1\r\nHost")
+
+    def test_mid_body_eof(self):
+        raw = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"
+        with pytest.raises(RequestError):
+            parse(raw)
+
+    def test_chunked_rejected(self):
+        with pytest.raises(RequestError):
+            parse(req(extra="Transfer-Encoding: chunked\r\n"))
+
+    def test_oversized_body_maps_to_413(self):
+        raw = b"POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\n" + b"x" * 100
+        with pytest.raises(RequestError) as exc_info:
+            parse(raw, max_body=10)
+        assert status_of(exc_info.value) == 413
+        assert error_payload(exc_info.value)["error"] == "payload_too_large"
+
+    def test_bad_content_length(self):
+        with pytest.raises(RequestError):
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+
+    def test_unsupported_protocol_version(self):
+        with pytest.raises(RequestError):
+            parse(b"GET /x SPDY/3\r\n\r\n")
+
+    def test_bad_json_body(self):
+        r = parse(req(body=b"{nope"))
+        with pytest.raises(RequestError):
+            r.json()
+
+    def test_empty_body_json_is_empty_object(self):
+        assert parse(req()).json() == {}
+
+
+class TestRenderResponse:
+    def test_round_trip_through_reader(self):
+        raw = render_response(200, {"ok": True})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode().split("\r\n")
+        assert lines[0] == "HTTP/1.1 200 OK"
+        assert json.loads(body) == {"ok": True}
+        assert f"Content-Length: {len(body)}" in head.decode()
+
+    def test_bytes_payload_passes_through(self):
+        raw = render_response(200, b'{"x":1}')
+        assert raw.endswith(b'{"x":1}')
+
+    def test_connection_header_follows_keep_alive(self):
+        assert b"Connection: keep-alive" in render_response(200, {})
+        assert b"Connection: close" in render_response(
+            200, {}, keep_alive=False
+        )
+
+    def test_deterministic_encoding(self):
+        a = render_response(200, {"b": 1, "a": 2})
+        b = render_response(200, {"a": 2, "b": 1})
+        assert a == b
+
+
+class TestErrorMapping:
+    @pytest.mark.parametrize(
+        "exc, status, code",
+        [
+            (ServiceError("x"), 500, "service_error"),
+            (RequestError("x"), 400, "bad_request"),
+            (TenantNotFoundError("t"), 404, "tenant_not_found"),
+            (GraphNotFoundError("x"), 404, "graph_not_found"),
+            (CacheCorruptionError("x"), 500, "cache_corruption"),
+        ],
+    )
+    def test_service_errors(self, exc, status, code):
+        assert status_of(exc) == status
+        assert error_payload(exc)["error"] == code
+
+    def test_assumption_violation_is_422(self):
+        exc = AssumptionError("needs full loops")
+        assert status_of(exc) == 422
+        assert error_payload(exc)["error"] == "assumption_violated"
+
+    def test_library_error_is_400(self):
+        exc = ReproError("bad factor")
+        assert status_of(exc) == 400
+        assert error_payload(exc)["error"] == "bad_input"
+
+    def test_unknown_exception_is_500(self):
+        exc = ValueError("boom")
+        assert status_of(exc) == 500
+        assert error_payload(exc)["error"] == "internal"
+
+    def test_structured_context_in_body(self):
+        exc = CacheCorruptionError(
+            "bad entry", digest="aXb", property="triangles", params={"k": 1}
+        )
+        doc = error_payload(exc)
+        assert doc["context"] == {
+            "digest": "aXb",
+            "property": "triangles",
+            "params": {"k": 1},
+        }
+
+    def test_same_error_same_body(self):
+        one = error_payload(TenantNotFoundError("alice"))
+        two = error_payload(TenantNotFoundError("alice"))
+        assert one == two
+
+
+class TestHTTPRequest:
+    def test_keep_alive_case_insensitive(self):
+        r = HTTPRequest("GET", "/", {"connection": "Close"})
+        assert not r.keep_alive

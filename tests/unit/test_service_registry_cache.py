@@ -1,0 +1,180 @@
+"""Unit tests for the service registry and the analytics cache."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import (
+    CacheCorruptionError,
+    GraphNotFoundError,
+    RequestError,
+    TenantNotFoundError,
+)
+from repro.graph import clique, cycle
+from repro.service.cache import AnalyticsCache, cache_key, payload_digest
+from repro.service.registry import ServiceRegistry, digest_hex
+
+
+class TestRegistry:
+    def test_register_factor_idempotent(self):
+        reg = ServiceRegistry()
+        d1 = reg.register_factor(clique(4))
+        d2 = reg.register_factor(clique(4))
+        assert d1 == d2
+        assert reg.num_factors == 1
+        assert len(d1) == 16  # 16-hex-digit content address
+
+    def test_graphs_shared_across_tenants(self):
+        reg = ServiceRegistry()
+        da = reg.register_factor(clique(4))
+        db = reg.register_factor(cycle(5))
+        h1 = reg.register_graph("alice", da, db)
+        h2 = reg.register_graph("bob", da, db)
+        assert h1.key == h2.key == f"{da}x{db}"
+        assert h1.graph is h2.graph  # content-addressed pool
+        assert reg.num_graphs == 1
+        assert reg.tenants == ["alice", "bob"]
+
+    def test_tenant_isolation(self):
+        reg = ServiceRegistry()
+        da = reg.register_factor(clique(4))
+        db = reg.register_factor(cycle(5))
+        handle = reg.register_graph("alice", da, db)
+        assert reg.graph("alice", handle.key) is not None
+        with pytest.raises(TenantNotFoundError):
+            reg.graph("mallory", handle.key)
+        reg.ensure_tenant("bob")
+        with pytest.raises(GraphNotFoundError):
+            reg.graph("bob", handle.key)
+
+    def test_unknown_factor_digest(self):
+        reg = ServiceRegistry()
+        with pytest.raises(GraphNotFoundError):
+            reg.register_graph("alice", "0" * 16, "1" * 16)
+
+    def test_factor_from_payload_flags(self):
+        reg = ServiceRegistry()
+        el = reg.factor_from_payload(
+            {"edges": [[0, 1]], "n": 3, "symmetrize": True, "self_loops": True}
+        )
+        assert el.n == 3
+        assert el.is_symmetric()
+        assert el.has_full_self_loops()
+
+    def test_factor_from_payload_rejects_garbage(self):
+        reg = ServiceRegistry()
+        with pytest.raises(RequestError):
+            reg.factor_from_payload({"nope": 1})
+        with pytest.raises(RequestError):
+            reg.factor_from_payload({"edges": "not-a-list"})
+
+    def test_summary_shape(self):
+        reg = ServiceRegistry()
+        da = reg.register_factor(clique(4))
+        db = reg.register_factor(cycle(5))
+        doc = reg.register_graph("t", da, db).summary()
+        assert doc["n"] == 20
+        assert doc["factor_a"] == da and doc["factor_b"] == db
+        json.dumps(doc)  # JSON-ready
+
+    def test_digest_hex_canonical(self):
+        assert digest_hex(0) == "0" * 16
+        assert digest_hex(2**64 - 1) == "f" * 16
+        assert digest_hex(-1) == "f" * 16  # wraps to uint64
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAnalyticsCache:
+    def test_miss_then_hit(self):
+        cache = AnalyticsCache(maxsize=4)
+        key = cache_key("a", "b", "triangles", "{}")
+        calls = []
+
+        async def go():
+            p1, hit1 = await cache.get_or_compute(
+                key, lambda: calls.append(1) or {"tau": 6}
+            )
+            p2, hit2 = await cache.get_or_compute(
+                key, lambda: calls.append(1) or {"tau": 6}
+            )
+            return p1, hit1, p2, hit2
+
+        p1, hit1, p2, hit2 = run(go())
+        assert calls == [1]
+        assert (hit1, hit2) == (False, True)
+        assert p1 == p2 and json.loads(p1) == {"tau": 6}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = AnalyticsCache(maxsize=2)
+
+        async def go():
+            for i in range(4):
+                await cache.get_or_compute(
+                    cache_key("a", "b", f"p{i}", "{}"), lambda i=i: {"i": i}
+                )
+
+        run(go())
+        assert len(cache) == 2
+        assert cache.evictions == 2
+
+    def test_corruption_detected_and_evicted(self):
+        cache = AnalyticsCache(maxsize=4)
+        key = cache_key("aaaa", "bbbb", "triangles", '{"k":1}')
+
+        async def go():
+            await cache.get_or_compute(key, lambda: {"tau": 6})
+            cache._entries[key].payload = b'{"tau": 666}'  # bit-rot
+            with pytest.raises(CacheCorruptionError) as exc_info:
+                cache.lookup(key)
+            assert exc_info.value.property == "triangles"
+            assert exc_info.value.digest == "aaaaxbbbb"
+            assert exc_info.value.params == {"k": 1}
+            assert key not in cache._entries  # damaged entry evicted
+            # The retry recomputes and repairs.
+            payload, was_hit = await cache.get_or_compute(
+                key, lambda: {"tau": 6}
+            )
+            assert not was_hit and json.loads(payload) == {"tau": 6}
+
+        run(go())
+        assert cache.corruptions == 1
+
+    def test_single_flight_awaiters_share_payload(self):
+        """Duplicates arriving while a computation is in flight await it."""
+        cache = AnalyticsCache(maxsize=4)
+        key = cache_key("a", "b", "prop", "{}")
+        calls = []
+
+        async def go():
+            loop = asyncio.get_running_loop()
+            future = loop.create_future()
+            cache._inflight[key] = future  # a computation is in flight
+
+            async def awaiter():
+                return await cache.get_or_compute(
+                    key, lambda: calls.append(1) or {"v": 2}
+                )
+
+            tasks = [asyncio.create_task(awaiter()) for _ in range(3)]
+            await asyncio.sleep(0)
+            future.set_result(b'{"v":1}')
+            del cache._inflight[key]
+            return await asyncio.gather(*tasks)
+
+        results = run(go())
+        assert calls == []  # nobody recomputed
+        assert all(hit for _, hit in results)
+        assert {payload for payload, _ in results} == {b'{"v":1}'}
+        assert cache.singleflights == 3
+
+    def test_payload_digest_sensitivity(self):
+        assert payload_digest(b'{"a":1}') != payload_digest(b'{"a":2}')
+
+    def test_rejects_zero_maxsize(self):
+        with pytest.raises(ValueError):
+            AnalyticsCache(maxsize=0)

@@ -1,0 +1,519 @@
+"""In-process end-to-end tests of :class:`repro.service.server.KronService`.
+
+Each test boots a real server on a loopback ephemeral port, talks to it
+through the loadgen's :class:`HTTPClient` (the same client CI uses), and
+checks responses against direct :class:`~repro.kronecker.lazy.KroneckerGraph`
+calls.  No pytest-asyncio: tests are sync functions running one
+``asyncio.run`` each.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.graph import clique, cycle
+from repro.kronecker.lazy import KroneckerGraph
+from repro.service.loadgen import (
+    DEFAULT_FACTOR_A,
+    DEFAULT_FACTOR_B,
+    HTTPClient,
+)
+from repro.service.server import MAX_BATCH, KronService, ServiceConfig
+
+
+def serve(fn, **config):
+    """Start a KronService, run ``await fn(service, client)``, tear down."""
+
+    async def run():
+        service = KronService(ServiceConfig(port=0, **config))
+        await service.start()
+        client = HTTPClient("127.0.0.1", service.bound_port)
+        await client.connect()
+        try:
+            return await fn(service, client)
+        finally:
+            await client.aclose()
+            await service.aclose()
+
+    return asyncio.run(run())
+
+
+async def register_default_graph(client, tenant="t"):
+    status, doc = await client.request(
+        "POST",
+        f"/v1/tenants/{tenant}/graphs",
+        {"a": DEFAULT_FACTOR_A, "b": DEFAULT_FACTOR_B},
+    )
+    assert status == 200, doc
+    return doc
+
+
+def default_product():
+    from repro.service.registry import ServiceRegistry
+
+    reg = ServiceRegistry()
+    a = reg.factor_from_payload(DEFAULT_FACTOR_A)
+    b = reg.factor_from_payload(DEFAULT_FACTOR_B)
+    return KroneckerGraph(a, b)
+
+
+class TestBasics:
+    def test_healthz(self):
+        async def go(service, client):
+            status, doc = await client.request("GET", "/healthz")
+            assert status == 200
+            assert doc == {"ok": True, "graphs": 0}
+
+        serve(go)
+
+    def test_properties_listing(self):
+        async def go(service, client):
+            status, doc = await client.request("GET", "/v1/properties")
+            assert status == 200
+            assert "triangles" in doc["properties"]
+            assert doc["properties"] == sorted(doc["properties"])
+
+        serve(go)
+
+    def test_unknown_route_is_404(self):
+        async def go(service, client):
+            status, doc = await client.request("GET", "/nope")
+            assert status == 404
+            assert doc["error"] == "not_found"
+
+        serve(go)
+
+    def test_bad_json_body_is_400(self):
+        async def go(service, client):
+            await register_default_graph(client)
+            # HTTPClient always sends valid JSON; write a raw bad body.
+            raw = (
+                b"POST /v1/tenants/t/graphs HTTP/1.1\r\n"
+                b"Content-Length: 5\r\n\r\n{nope"
+            )
+            client._writer.write(raw)
+            await client._writer.drain()
+            status, doc = await client._read_response()
+            assert status == 400
+            assert doc["error"] == "bad_request"
+
+        serve(go)
+
+
+class TestRegistration:
+    def test_register_factor_returns_digest(self):
+        async def go(service, client):
+            status, doc = await client.request(
+                "POST", "/v1/tenants/t/factors", DEFAULT_FACTOR_A
+            )
+            assert status == 200
+            assert len(doc["digest"]) == 16
+            assert doc["n"] == 4
+
+        serve(go)
+
+    def test_register_graph_by_digests(self):
+        async def go(service, client):
+            _, fa = await client.request(
+                "POST", "/v1/tenants/t/factors", DEFAULT_FACTOR_A
+            )
+            _, fb = await client.request(
+                "POST", "/v1/tenants/t/factors", DEFAULT_FACTOR_B
+            )
+            status, doc = await client.request(
+                "POST",
+                "/v1/tenants/t/graphs",
+                {"factor_a": fa["digest"], "factor_b": fb["digest"]},
+            )
+            assert status == 200
+            assert doc["n"] == 20
+            assert doc["graph"] == f"{fa['digest']}x{fb['digest']}"
+
+        serve(go)
+
+    def test_register_graph_inline_and_list(self):
+        async def go(service, client):
+            doc = await register_default_graph(client)
+            status, listing = await client.request(
+                "GET", "/v1/tenants/t/graphs"
+            )
+            assert status == 200
+            assert [g["graph"] for g in listing["graphs"]] == [doc["graph"]]
+            status, summary = await client.request(
+                "GET", f"/v1/tenants/t/graphs/{doc['graph']}/summary"
+            )
+            assert status == 200
+            assert summary == doc
+
+        serve(go)
+
+    def test_unknown_tenant_is_404(self):
+        async def go(service, client):
+            doc = await register_default_graph(client)
+            status, err = await client.request(
+                "POST",
+                f"/v1/tenants/other/graphs/{doc['graph']}/edges",
+                {"pairs": [[0, 0]]},
+            )
+            assert status == 404
+            assert err["error"] == "tenant_not_found"
+
+        serve(go)
+
+    def test_unknown_graph_is_404(self):
+        async def go(service, client):
+            await register_default_graph(client)
+            status, err = await client.request(
+                "GET", "/v1/tenants/t/graphs/0000x0000/summary"
+            )
+            assert status == 404
+            assert err["error"] == "graph_not_found"
+
+        serve(go)
+
+    def test_incomplete_registration_is_400(self):
+        async def go(service, client):
+            status, err = await client.request(
+                "POST", "/v1/tenants/t/graphs", {"a": DEFAULT_FACTOR_A}
+            )
+            assert status == 400
+            status, err = await client.request(
+                "POST", "/v1/tenants/t/graphs", {"factor_a": "00"}
+            )
+            assert status == 400
+
+        serve(go)
+
+
+class TestQueries:
+    def test_edges_match_direct_kronecker(self):
+        direct = default_product()
+        rng = np.random.default_rng(3)
+        pairs = rng.integers(0, direct.n, size=(200, 2))
+
+        async def go(service, client):
+            doc = await register_default_graph(client)
+            status, res = await client.request(
+                "POST",
+                f"/v1/tenants/t/graphs/{doc['graph']}/edges",
+                {"pairs": pairs.tolist()},
+            )
+            assert status == 200
+            expected = direct.has_edges(pairs[:, 0], pairs[:, 1])
+            assert res["exists"] == expected.tolist()
+
+        serve(go)
+
+    def test_degrees_match_direct_kronecker(self):
+        direct = default_product()
+        vertices = list(range(direct.n))
+
+        async def go(service, client):
+            doc = await register_default_graph(client)
+            status, res = await client.request(
+                "POST",
+                f"/v1/tenants/t/graphs/{doc['graph']}/degrees",
+                {"vertices": vertices},
+            )
+            assert status == 200
+            expected = direct.degree(np.asarray(vertices))
+            assert res["degrees"] == expected.tolist()
+
+        serve(go)
+
+    def test_neighbors_match_direct_with_truncation(self):
+        direct = default_product()
+
+        async def go(service, client):
+            doc = await register_default_graph(client)
+            status, res = await client.request(
+                "POST",
+                f"/v1/tenants/t/graphs/{doc['graph']}/neighbors",
+                {"vertices": [0, 7, 19], "limit": 3},
+            )
+            assert status == 200
+            for item in res["neighborhoods"]:
+                full = direct.neighbors(item["p"])
+                assert item["degree_total"] == len(full)
+                assert item["truncated"] == (len(full) > 3)
+                assert item["neighbors"] == full[:3].tolist()
+
+        serve(go)
+
+    def test_empty_batches(self):
+        async def go(service, client):
+            doc = await register_default_graph(client)
+            base = f"/v1/tenants/t/graphs/{doc['graph']}"
+            status, res = await client.request(
+                "POST", f"{base}/edges", {"pairs": []}
+            )
+            assert (status, res["exists"]) == (200, [])
+            status, res = await client.request(
+                "POST", f"{base}/degrees", {"vertices": []}
+            )
+            assert (status, res["degrees"]) == (200, [])
+
+        serve(go)
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {"pairs": "nope"},
+            {"pairs": [[0]]},
+            {"pairs": [[0, 1, 2]]},
+            {"pairs": [[0, 99]]},  # out of range (n = 20)
+            {"pairs": [[-1, 0]]},
+            {"pairs": [["a", "b"]]},
+            {"vertices": [0]},  # wrong field name
+        ],
+    )
+    def test_bad_edge_batches_are_400(self, body):
+        async def go(service, client):
+            doc = await register_default_graph(client)
+            status, err = await client.request(
+                "POST", f"/v1/tenants/t/graphs/{doc['graph']}/edges", body
+            )
+            assert status == 400
+            assert err["error"] == "bad_request"
+
+        serve(go)
+
+    def test_oversized_batch_is_400(self):
+        async def go(service, client):
+            doc = await register_default_graph(client)
+            status, err = await client.request(
+                "POST",
+                f"/v1/tenants/t/graphs/{doc['graph']}/degrees",
+                {"vertices": [0] * (MAX_BATCH + 1)},
+            )
+            assert status == 400
+            assert str(MAX_BATCH) in err["message"]
+
+        serve(go)
+
+    def test_bad_neighbor_limit_is_400(self):
+        async def go(service, client):
+            doc = await register_default_graph(client)
+            status, _ = await client.request(
+                "POST",
+                f"/v1/tenants/t/graphs/{doc['graph']}/neighbors",
+                {"vertices": [0], "limit": -1},
+            )
+            assert status == 400
+
+        serve(go)
+
+
+class TestAnalytics:
+    def test_triangles_cached_on_second_request(self):
+        async def go(service, client):
+            doc = await register_default_graph(client)
+            path = f"/v1/tenants/t/graphs/{doc['graph']}/analytics/triangles"
+            status, first = await client.request("POST", path, {})
+            assert status == 200
+            assert not first["cached"]
+            status, second = await client.request("POST", path, {})
+            assert second["cached"]
+            assert first["value"] == second["value"]
+            assert first["value"]["convention"] == "no_loops"
+            assert service.cache.hits == 1
+
+        serve(go)
+
+    def test_triangles_value_matches_groundtruth(self):
+        from repro.groundtruth.triangles import (
+            factor_triangle_stats,
+            global_triangles_no_loops,
+        )
+
+        direct = default_product()
+        tau_a = factor_triangle_stats(
+            direct.factor_a.without_self_loops()
+        ).global_tri
+        tau_b = factor_triangle_stats(
+            direct.factor_b.without_self_loops()
+        ).global_tri
+        expected = global_triangles_no_loops(tau_a, tau_b)
+
+        async def go(service, client):
+            doc = await register_default_graph(client)
+            _, res = await client.request(
+                "POST",
+                f"/v1/tenants/t/graphs/{doc['graph']}/analytics/triangles",
+                {"params": {"convention": "no_loops"}},
+            )
+            assert res["value"]["global_triangles"] == int(expected)
+
+        serve(go)
+
+    def test_params_distinguish_cache_entries(self):
+        async def go(service, client):
+            doc = await register_default_graph(client)
+            path = f"/v1/tenants/t/graphs/{doc['graph']}/analytics/closeness"
+            _, r0 = await client.request("POST", path, {"params": {"p": 0}})
+            _, r1 = await client.request("POST", path, {"params": {"p": 1}})
+            assert not r0["cached"] and not r1["cached"]
+            assert r0["value"]["p"] == 0 and r1["value"]["p"] == 1
+
+        serve(go)
+
+    def test_unknown_property_is_400(self):
+        async def go(service, client):
+            doc = await register_default_graph(client)
+            status, err = await client.request(
+                "POST",
+                f"/v1/tenants/t/graphs/{doc['graph']}/analytics/pagerank",
+                {},
+            )
+            assert status == 400
+            assert "unknown property" in err["message"]
+
+        serve(go)
+
+    def test_missing_assumption_is_422(self):
+        async def go(service, client):
+            # No self loops: eccentricity/closeness hypotheses fail.
+            status, doc = await client.request(
+                "POST",
+                "/v1/tenants/t/graphs",
+                {
+                    "a": {"edges": [[0, 1]], "n": 2, "symmetrize": True},
+                    "b": {"edges": [[0, 1]], "n": 2, "symmetrize": True},
+                },
+            )
+            assert status == 200
+            path = (
+                f"/v1/tenants/t/graphs/{doc['graph']}"
+                f"/analytics/eccentricity_histogram"
+            )
+            status, err = await client.request("POST", path, {})
+            assert status == 422
+            assert err["error"] == "assumption_violated"
+
+        serve(go)
+
+    def test_bad_params_is_400(self):
+        async def go(service, client):
+            doc = await register_default_graph(client)
+            status, _ = await client.request(
+                "POST",
+                f"/v1/tenants/t/graphs/{doc['graph']}/analytics/triangles",
+                {"params": "nope"},
+            )
+            assert status == 400
+
+        serve(go)
+
+
+class TestObservability:
+    def test_metrics_endpoint_shape(self):
+        async def go(service, client):
+            doc = await register_default_graph(client)
+            await client.request(
+                "POST",
+                f"/v1/tenants/t/graphs/{doc['graph']}/edges",
+                {"pairs": [[0, 0]]},
+            )
+            status, m = await client.request("GET", "/v1/metrics")
+            assert status == 200
+            counters = m["metrics"]["counters"]
+            assert counters["service.requests"] >= 2
+            assert counters["service.edge_queries"] == 1
+            assert counters.get("service.errors", 0) == 0
+            assert m["cache"]["maxsize"] == service.cache.maxsize
+            assert m["registry"]["graphs"] == 1
+            assert m["registry"]["tenants"] == ["t"]
+            assert "hits" in m["memo"]
+
+        serve(go)
+
+    def test_requests_produce_spans(self):
+        async def go(service, client):
+            doc = await register_default_graph(client)
+            await client.request(
+                "POST",
+                f"/v1/tenants/t/graphs/{doc['graph']}/analytics/summary",
+                {},
+            )
+            return service
+
+        service = serve(go)
+        events = service.trace_session().ranks[0].events
+        names = {e.name for e in events}
+        assert "service.request" in names
+        assert "service.analytics" in names
+
+    def test_error_requests_still_counted(self):
+        async def go(service, client):
+            await client.request("GET", "/nope")
+            _, m = await client.request("GET", "/v1/metrics")
+            counters = m["metrics"]["counters"]
+            assert counters["service.errors"] == 1
+            assert counters["service.status.404"] == 1
+
+        serve(go)
+
+
+class TestShutdown:
+    def test_remote_shutdown_stops_server(self):
+        async def go():
+            service = KronService(ServiceConfig(port=0))
+            await service.start()
+            serve_task = asyncio.create_task(service.serve_until_shutdown())
+            client = await HTTPClient("127.0.0.1", service.bound_port).connect()
+            status, doc = await client.request("POST", "/v1/admin/shutdown")
+            assert (status, doc["shutting_down"]) == (200, True)
+            await client.aclose()
+            await asyncio.wait_for(serve_task, timeout=5)
+
+        asyncio.run(go())
+
+    def test_shutdown_disabled_is_400(self):
+        async def go(service, client):
+            status, err = await client.request("POST", "/v1/admin/shutdown")
+            assert status == 400
+            assert not service._shutdown.is_set()
+
+        serve(go, allow_shutdown=False)
+
+    def test_bound_port_requires_listening(self):
+        from repro.errors import ServiceError
+
+        service = KronService(ServiceConfig(port=0))
+        try:
+            with pytest.raises(ServiceError):
+                service.bound_port
+        finally:
+            service.telemetry.close()  # never started; detach the sink
+
+
+class TestKeepAlive:
+    def test_many_requests_one_connection(self):
+        async def go(service, client):
+            doc = await register_default_graph(client)
+            path = f"/v1/tenants/t/graphs/{doc['graph']}/edges"
+            for _ in range(20):
+                status, _ = await client.request(
+                    "POST", path, {"pairs": [[0, 0]]}
+                )
+                assert status == 200
+
+        serve(go)
+
+    def test_analytics_response_is_valid_json(self):
+        """The spliced head+payload composition must parse cleanly."""
+
+        async def go(service, client):
+            doc = await register_default_graph(client)
+            _, res = await client.request(
+                "POST",
+                f"/v1/tenants/t/graphs/{doc['graph']}/analytics/degree_histogram",
+                {},
+            )
+            json.dumps(res)  # fully JSON-representable
+            assert res["graph"] == doc["graph"]
+            assert res["property"] == "degree_histogram"
+
+        serve(go)
