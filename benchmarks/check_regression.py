@@ -23,6 +23,19 @@ headline number against the committed JSON, fail past ``--threshold``
     >= 10k edge-queries/s, > 90% warm cache hit rate, zero errors --
     which fail the gate regardless of the committed baseline.
 
+``--suite skg``
+    the stochastic tier's acceptance snapshot vs ``BENCH_skg.json``;
+    headline is ``acceptance_overhead`` -- the accept-all SKG kernel
+    over the exact kernel on the identical candidate stream and stored
+    volume.  Two gates: a *hard* 25% cap (``--skg-overhead-cap``, the
+    acceptance criterion the tier shipped under, independent of any
+    baseline) and an absolute drift check against the committed number
+    (ratios of two same-machine walls transfer across runners, so
+    drift means the acceptance path itself got slower).  The fitted
+    polblogs case must also keep beating exact outright
+    (``speedup_skg_vs_exact > 1``): if hashing ever costs more than
+    the wire it saves, the stochastic tier lost its point.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py [--suite service]
@@ -70,6 +83,49 @@ def check_service(args: argparse.Namespace) -> int:
     return 0
 
 
+def check_skg(args: argparse.Namespace) -> int:
+    import bench_skg
+
+    baseline_path = args.baseline or str(REPO_ROOT / "BENCH_skg.json")
+    with open(baseline_path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+
+    out = Path(tempfile.mkdtemp()) / "bench_skg_current.json"
+    rc = bench_skg.main(
+        ["--out", str(out), "--repeat", str(args.repeat), "--stat", "median"]
+    )
+    if rc:
+        return rc  # accept-all/exact volume mismatch already failed
+    with open(out, encoding="utf-8") as fh:
+        current = json.load(fh)
+
+    base_ovh = baseline["acceptance_overhead"]
+    cur_ovh = current["acceptance_overhead"]
+    speedup = current["speedup_skg_vs_exact"]
+    print()
+    print(f"acceptance overhead: baseline {base_ovh:+.1%}, "
+          f"current {cur_ovh:+.1%} (cap {args.skg_overhead_cap:.0%})")
+    print(f"fitted-spec speedup vs exact: {speedup:.2f}x")
+
+    failed = False
+    if cur_ovh > args.skg_overhead_cap:
+        print(f"FAIL: acceptance overhead {cur_ovh:.1%} exceeds the "
+              f"{args.skg_overhead_cap:.0%} hard cap")
+        failed = True
+    if cur_ovh > base_ovh + args.threshold:
+        print(f"FAIL: acceptance overhead drifted "
+              f"{cur_ovh - base_ovh:+.1%} past the committed baseline "
+              f"(> {args.threshold:.0%} allowed)")
+        failed = True
+    if speedup <= 1.0:
+        print(f"FAIL: fitted-spec kernel no longer beats exact "
+              f"({speedup:.2f}x <= 1.0x)")
+        failed = True
+    if not failed:
+        print("perf gate OK")
+    return 1 if failed else 0
+
+
 def check_generation(args: argparse.Namespace) -> int:
     import trajectory
 
@@ -115,7 +171,7 @@ def check_generation(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--suite", default="generation",
-                        choices=("generation", "service"),
+                        choices=("generation", "service", "skg"),
                         help="which benchmark/baseline pair to gate")
     parser.add_argument(
         "--baseline",
@@ -129,9 +185,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--async-floor", type=float, default=1.2,
                         help="min async-vs-fused speedup to accept "
                              "(generation suite only)")
+    parser.add_argument("--skg-overhead-cap", type=float, default=0.25,
+                        help="hard ceiling on SKG acceptance overhead "
+                             "(skg suite only)")
     args = parser.parse_args(argv)
     if args.suite == "service":
         return check_service(args)
+    if args.suite == "skg":
+        return check_skg(args)
     return check_generation(args)
 
 

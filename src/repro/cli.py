@@ -5,6 +5,8 @@ graphs A and B from file and efficiently produces the nonstochastic
 Kronecker graph", plus ground-truth and validation commands::
 
     repro-kron generate    A.txt B.txt --out shards/ --ranks 8 --scheme 2d
+    repro-kron generate    --model skg --seed-matrix facebook --out shards/
+    repro-kron generate    --list-seed-matrices    # fitted SKG seed library
     repro-kron groundtruth A.txt B.txt            # stats table from factors
     repro-kron validate    A.txt B.txt            # formula-vs-direct checks
     repro-kron scaling-table A.txt B.txt          # the Section-I table
@@ -92,23 +94,78 @@ def _prepare(el: EdgeList, args: argparse.Namespace) -> EdgeList:
 # --------------------------------------------------------------------- #
 # subcommands
 # --------------------------------------------------------------------- #
+def _print_seed_matrices() -> None:
+    """The fitted SKG seed-matrix library as a table."""
+    from repro.skg import list_seed_matrices
+
+    print(f"{'name':<14}{'k':>4}{'n':>8}{'source n':>10}{'source m':>10}"
+          f"  theta (t00 t01 t10 t11)")
+    for sm in list_seed_matrices():
+        t = " ".join(f"{x:.6f}" for x in sm.theta)
+        print(f"{sm.name:<14}{sm.k:>4}{sm.n:>8}{sm.source_n:>10}"
+              f"{sm.source_m:>10}  [{t}]")
+
+
+def _skg_spec_from_args(args: argparse.Namespace):
+    """Build the SKGSpec the generate/chaos flags describe."""
+    from repro.skg import SKGSpec
+
+    return SKGSpec.from_library(
+        args.seed_matrix,
+        k=args.skg_k,
+        skg_seed=args.skg_seed,
+        noise_b=args.noise_b,
+        noise_seed=args.noise_seed,
+    )
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
-    """Distributed generation to shard files."""
+    """Distributed generation to shard files (exact or SKG model)."""
     from repro.distributed.outofcore import generate_to_directory
 
-    a = _prepare(load_factor(args.factor_a), args)
-    b = _prepare(load_factor(args.factor_b), args)
+    if args.list_seed_matrices:
+        _print_seed_matrices()
+        return 0
+    if args.out is None:
+        raise ReproError("--out is required (unless --list-seed-matrices)")
+    spec = None
+    if args.model == "skg":
+        if args.factor_a or args.factor_b:
+            raise ReproError(
+                "--model skg enumerates its own candidate factors; "
+                "do not pass factor files"
+            )
+        from repro.skg import expected_edge_rows, skg_candidate_factors
+
+        spec = _skg_spec_from_args(args)
+        a, b = skg_candidate_factors(spec.k)
+    else:
+        if not (args.factor_a and args.factor_b):
+            raise ReproError("model 'exact' requires two factor files")
+        a = _prepare(load_factor(args.factor_a), args)
+        b = _prepare(load_factor(args.factor_b), args)
     manifest = generate_to_directory(
         a, b, args.out, args.ranks, scheme=args.scheme,
         backend=args.backend, chunk_size=args.chunk_size,
         rendezvous=args.rendezvous,
         local_ranks=_parse_rank_set(args.local_ranks, args.ranks),
+        skg=spec,
     )
     print(
         f"generated {manifest.edges_total} directed edges "
         f"({manifest.n} vertices) into {len(manifest.shard_paths)} shards "
         f"under {manifest.directory}"
     )
+    if spec is not None:
+        print(
+            f"REPRO_SKG name={spec.name} k={spec.k} "
+            f"skg_seed={spec.skg_seed} noise_b={spec.noise_b} "
+            f"vertices={spec.n} edges={manifest.edges_total} "
+            f"expected_edges={expected_edge_rows(spec):.1f} "
+            f"shards={len(manifest.shard_paths)} "
+            f"digest={spec.digest():016x}",
+            flush=True,
+        )
     return 0
 
 
@@ -198,7 +255,13 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     )
     from repro.distributed.supervisor import run_chaos_matrix
 
-    if args.factor_a and args.factor_b:
+    spec = None
+    if args.model == "skg":
+        from repro.skg import skg_candidate_factors
+
+        spec = _skg_spec_from_args(args)
+        a, b = skg_candidate_factors(spec.k)
+    elif args.factor_a and args.factor_b:
         a = _prepare(load_factor(args.factor_a), args)
         b = _prepare(load_factor(args.factor_b), args)
     else:
@@ -220,6 +283,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         scheme=args.scheme,
         pipeline=args.pipeline,
         wire=args.wire,
+        model=args.model,
+        skg=spec,
         recv_timeout_s=args.timeout,
         max_attempts=args.max_attempts,
         checkpoint_root=args.checkpoint_root,
@@ -525,11 +590,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    g = sub.add_parser("generate", help="generate A (x) B to shard files")
-    _add_factor_args(g)
-    g.add_argument("--out", required=True, help="output shard directory")
+    g = sub.add_parser(
+        "generate",
+        help="generate A (x) B (or a stochastic Kronecker graph) to "
+             "shard files",
+    )
+    g.add_argument("factor_a", nargs="?", default=None,
+                   help="factor A file (.txt/.npz/.mtx); omit with "
+                        "--model skg")
+    g.add_argument("factor_b", nargs="?", default=None,
+                   help="factor B file (.txt/.npz/.mtx); omit with "
+                        "--model skg")
+    g.add_argument("--symmetrize", action="store_true",
+                   help="symmetrize factors after reading (directed inputs)")
+    g.add_argument("--self-loops", action="store_true",
+                   help="add a self loop on every factor vertex "
+                        "(the paper's A + I)")
+    g.add_argument("--out", default=None, help="output shard directory")
     g.add_argument("--ranks", type=int, default=4, help="world size")
     g.add_argument("--scheme", choices=("1d", "2d"), default="2d")
+    g.add_argument("--model", choices=("exact", "skg"), default="exact",
+                   help="'exact' emits every product edge; 'skg' samples "
+                        "a stochastic Kronecker graph from a fitted seed "
+                        "matrix via deterministic hash-thresholded "
+                        "acceptance")
+    g.add_argument("--seed-matrix", default="facebook",
+                   help="SKG seed-matrix name (see --list-seed-matrices)")
+    g.add_argument("--skg-seed", type=int, default=0,
+                   help="acceptance-hash seed (same seed -> same graph)")
+    g.add_argument("--skg-k", type=int, default=None,
+                   help="Kronecker exponent override (default: the seed "
+                        "matrix's fitted k)")
+    g.add_argument("--noise-b", type=float, default=0.0,
+                   help="noisy-SKG amplitude (0 disables the correction)")
+    g.add_argument("--noise-seed", type=int, default=0,
+                   help="per-level noise seed for noisy SKG")
+    g.add_argument("--list-seed-matrices", action="store_true",
+                   help="print the fitted seed-matrix library and exit")
     g.add_argument("--backend",
                    choices=("inline", "thread", "process", "socket"),
                    default="thread")
@@ -594,6 +691,20 @@ def build_parser() -> argparse.ArgumentParser:
                         "1d-pipelined)")
     c.add_argument("--wire", choices=("raw", "varint"), default="raw",
                    help="edge wire format for every exchange")
+    c.add_argument("--model", choices=("exact", "skg"), default="exact",
+                   help="run the matrix over exact enumeration or the "
+                        "stochastic (SKG) acceptance path")
+    c.add_argument("--seed-matrix", default="facebook",
+                   help="SKG seed-matrix name (with --model skg)")
+    c.add_argument("--skg-seed", type=int, default=0,
+                   help="SKG acceptance-hash seed")
+    c.add_argument("--skg-k", type=int, default=5,
+                   help="SKG Kronecker exponent for chaos cells (small "
+                        "keeps the matrix fast)")
+    c.add_argument("--noise-b", type=float, default=0.0,
+                   help="noisy-SKG amplitude")
+    c.add_argument("--noise-seed", type=int, default=0,
+                   help="noisy-SKG per-level noise seed")
     c.add_argument("--timeout", type=float, default=2.0,
                    help="recv timeout (s) pinned for the run; bounds how "
                         "long a dropped message stalls before retry")

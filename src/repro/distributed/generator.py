@@ -28,6 +28,25 @@ Routing modes (``routing=``)
 Both modes produce identical edge multisets; see
 ``tests/property/test_routed_equivalence.py``.
 
+Generation models (``model=``)
+------------------------------
+``"exact"`` (default):
+    every enumerated product edge is emitted -- the paper's
+    nonstochastic generator.
+``"skg"``:
+    the stochastic Kronecker tier (:mod:`repro.skg`).  The factors
+    enumerate the *candidate* space (all ordered vertex pairs, via
+    :func:`repro.graph.generators.complete_with_loops`) and a
+    deterministic hash-thresholded acceptance filter
+    (:class:`repro.skg.sample.SKGAcceptor`) runs inside the generate
+    span on every scheme x routing x pipeline path.  Because acceptance
+    is a pure function of ``(skg_seed, u, v)``, the filtered output is
+    bit-identical across backends, chunk sizes, retries, and elastic
+    re-sharding -- the same invariants the exact model enjoys.
+    ``edges.generated`` counts *accepted* edges (what enters routing and
+    storage, keeping trace reconciliation intact); the filter's own
+    volume lands on the ``skg.accepted`` / ``skg.rejected`` counters.
+
 The rank functions are plain module-level callables taking their
 :class:`Communicator` first, runnable under any backend via
 :func:`repro.distributed.launcher.spmd_run`.  Convenience drivers
@@ -117,8 +136,54 @@ def _check_wire(wire: str) -> None:
         )
 
 
+def _check_model(model: str, skg, n_c: int) -> None:
+    if model not in ("exact", "skg"):
+        raise PartitionError(
+            f"unknown model {model!r}; use 'exact' or 'skg'"
+        )
+    if model == "exact":
+        if skg is not None:
+            raise PartitionError(
+                "model='exact' does not take an SKG spec; pass model='skg'"
+            )
+        return
+    from repro.skg.model import SKGSpec
+
+    if not isinstance(skg, SKGSpec):
+        raise PartitionError(
+            f"model='skg' requires an SKGSpec, got {type(skg).__name__}"
+        )
+    if skg.n != n_c:
+        raise PartitionError(
+            f"SKG spec covers 2**{skg.k} = {skg.n} vertices but the factor "
+            f"product has {n_c}; the factors must enumerate exactly the "
+            f"spec's candidate space (see repro.skg.distributed."
+            f"skg_candidate_factors)"
+        )
+
+
+def _make_acceptor(skg):
+    """Build the per-rank SKG acceptance filter (None for exact runs).
+
+    Imported lazily: :mod:`repro.skg` depends on this module for its
+    distributed drivers, so a top-level import would be circular.
+    """
+    if skg is None:
+        return None
+    from repro.skg.sample import SKGAcceptor
+
+    return SKGAcceptor(skg)
+
+
+def _emit_skg_counters(tel, acceptor) -> None:
+    """Report the acceptance filter's volume on the rank's telemetry."""
+    if acceptor is not None:
+        tel.add("skg.accepted", acceptor.accepted)
+        tel.add("skg.rejected", acceptor.rejected)
+
+
 def _generate_cells(
-    cells: list[tuple[EdgeList, EdgeList]], chunk_size: int
+    cells: list[tuple[EdgeList, EdgeList]], chunk_size: int, acceptor=None
 ) -> tuple[np.ndarray, int]:
     """Stream this rank's cell products into one exactly-sized array.
 
@@ -127,7 +192,20 @@ def _generate_cells(
     streamed chunk is written into its slice -- peak memory is the output
     plus one chunk, half the chunk-list-then-vstack peak of the previous
     implementation.
+
+    With an SKG ``acceptor`` the surviving count is not known up front, so
+    accepted chunk slices are collected and stacked instead; the returned
+    count is the *accepted* volume.
     """
+    if acceptor is not None:
+        kept: list[np.ndarray] = []
+        for part_a, part_b in cells:
+            for chunk in iter_kron_product(part_a, part_b, chunk_size):
+                accepted = acceptor.filter_edges(chunk)
+                if len(accepted):
+                    kept.append(accepted)
+        edges = np.vstack(kept) if kept else _EMPTY
+        return edges, len(edges)
     total = sum(a.m_directed * b.m_directed for a, b in cells)
     if total == 0:
         return _EMPTY, 0
@@ -147,6 +225,7 @@ def _generate_cells_routed(
     n_c: int,
     chunk_size: int,
     tel=NULL_TELEMETRY,
+    acceptor=None,
 ) -> tuple[list[np.ndarray], int]:
     """Generate this rank's cells directly into per-owner buckets.
 
@@ -154,7 +233,8 @@ def _generate_cells_routed(
     :func:`kron_routed_full`; multi-cell ranks (folded 2-D grids) stack the
     per-cell buckets owner-wise.  On the fused path owner assignment is
     analytic, so the "route" phase degenerates to the owner-wise stack --
-    the trace shows it that way on purpose.
+    the trace shows it that way on purpose.  The SKG ``acceptor`` (when
+    present) filters each owner bucket inside the generate span.
     """
     per_owner: list[list[np.ndarray]] = [[] for _ in range(nparts)]
     generated = 0
@@ -162,6 +242,8 @@ def _generate_cells_routed(
         for part_a, part_b in cells:
             buckets = kron_routed_full(part_a, part_b, nparts, n_c, chunk_size)
             for d, blk in enumerate(buckets):
+                if acceptor is not None:
+                    blk = acceptor.filter_edges(blk)
                 if len(blk):
                     per_owner[d].append(blk)
                     generated += len(blk)
@@ -181,29 +263,33 @@ def _route_and_store(
     chunk_size: int,
     routing: str,
     wire: str = "raw",
+    skg=None,
 ) -> RankOutput:
     """Shared body of the batch (non-pipelined) rank programs."""
     _check_routing(routing)
     _check_wire(wire)
     tel = telemetry_of(comm)
+    acceptor = _make_acceptor(skg)
     if storage is None or comm.size == 1:
         with tel.span("generate", cat="phase", routing=routing):
-            edges, generated = _generate_cells(cells, chunk_size)
+            edges, generated = _generate_cells(cells, chunk_size, acceptor)
+        _emit_skg_counters(tel, acceptor)
         tel.add("edges.generated", generated)
         tel.add("edges.stored", len(edges))
         return RankOutput(comm.rank, edges, generated)
     if routing == "fused" and storage == "source_block":
         outgoing, generated = _generate_cells_routed(
-            cells, comm.size, n_c, chunk_size, tel
+            cells, comm.size, n_c, chunk_size, tel, acceptor
         )
         edges = exchange_edges(comm, outgoing, wire=wire)
     else:
         with tel.span("generate", cat="phase", routing=routing):
-            edges, generated = _generate_cells(cells, chunk_size)
+            edges, generated = _generate_cells(cells, chunk_size, acceptor)
         method = "scatter" if routing == "fused" else "argsort"
         edges = shuffle_to_owners(
             comm, edges, scheme=storage, n=n_c, method=method, wire=wire
         )
+    _emit_skg_counters(tel, acceptor)
     tel.add("edges.generated", generated)
     tel.add("edges.stored", len(edges))
     return RankOutput(comm.rank, edges, generated)
@@ -218,6 +304,7 @@ def generate_rank_1d(
     chunk_size: int = DEFAULT_CHUNK,
     routing: str = "fused",
     wire: str = "raw",
+    skg=None,
 ) -> RankOutput:
     """Rank program for the 1-D scheme: ``C_r = A_r (x) B``.
 
@@ -225,11 +312,12 @@ def generate_rank_1d(
     picks ``parts_a[comm.rank]`` -- matching the paper's file-per-rank read
     without I/O in the hot path.  ``storage=None`` keeps generated edges
     local; ``"source_block"``/``"edge_hash"`` route them to owners, fused
-    with generation by default (see module docstring).
+    with generation by default (see module docstring).  ``skg`` (an
+    :class:`repro.skg.model.SKGSpec`) switches on stochastic acceptance.
     """
     part = parts_a[comm.rank]
     return _route_and_store(
-        comm, [(part, el_b)], n_c, storage, chunk_size, routing, wire
+        comm, [(part, el_b)], n_c, storage, chunk_size, routing, wire, skg
     )
 
 
@@ -241,10 +329,12 @@ def generate_rank_2d(
     chunk_size: int = DEFAULT_CHUNK,
     routing: str = "fused",
     wire: str = "raw",
+    skg=None,
 ) -> RankOutput:
     """Rank program for Remark 1's 2-D scheme: ``A_{r % Rh} (x) B_{r // Rh}``."""
     return _route_and_store(
-        comm, assignments[comm.rank], n_c, storage, chunk_size, routing, wire
+        comm, assignments[comm.rank], n_c, storage, chunk_size, routing,
+        wire, skg,
     )
 
 
@@ -260,6 +350,8 @@ def generate_distributed(
     routing: str = "fused",
     pipeline: str = "sync",
     wire: str = "raw",
+    model: str = "exact",
+    skg=None,
     runner=spmd_run,
     telemetry=None,
 ) -> tuple[EdgeList, list[RankOutput]]:
@@ -294,6 +386,15 @@ def generate_distributed(
         ``"raw"`` (int64 blocks as-is) or ``"varint"`` (delta-sorted
         varint compression of every exchanged block -- see
         :mod:`repro.distributed.wire`).
+    model / skg:
+        ``model="exact"`` (default) emits every product edge.
+        ``model="skg"`` requires ``skg`` (an
+        :class:`repro.skg.model.SKGSpec` whose vertex count matches the
+        product's) and filters candidates with the deterministic
+        hash-thresholded acceptance described in the module docstring.
+        The two parameters must be consistent -- passing a spec with
+        ``model="exact"`` (or vice versa) raises
+        :class:`~repro.errors.PartitionError`.
     runner:
         The launch function, ``spmd_run``-compatible.  The supervised
         launcher (:func:`repro.distributed.supervisor.spmd_run_supervised`)
@@ -314,6 +415,7 @@ def generate_distributed(
     _check_routing(routing)
     _check_pipeline(pipeline)
     _check_wire(wire)
+    _check_model(model, skg, el_a.n * el_b.n)
     if pipeline == "async" and scheme != "1d-pipelined":
         raise PartitionError(
             f"pipeline='async' requires scheme='1d-pipelined' (scheme "
@@ -339,6 +441,7 @@ def generate_distributed(
             routing,
             pipeline,
             wire,
+            skg,
             **run_kwargs,
         )
     elif scheme == "1d":
@@ -353,6 +456,7 @@ def generate_distributed(
             chunk_size,
             routing,
             wire,
+            skg,
             **run_kwargs,
         )
     elif scheme == "2d":
@@ -366,6 +470,7 @@ def generate_distributed(
             chunk_size,
             routing,
             wire,
+            skg,
             **run_kwargs,
         )
     else:
@@ -399,6 +504,7 @@ def generate_rank_1d_pipelined(
     routing: str = "fused",
     pipeline: str = "sync",
     wire: str = "raw",
+    skg=None,
 ) -> RankOutput:
     """1-D rank program with per-chunk routing (pipelined sends).
 
@@ -437,6 +543,7 @@ def generate_rank_1d_pipelined(
     _check_pipeline(pipeline)
     _check_wire(wire)
     tel = telemetry_of(comm)
+    acceptor = _make_acceptor(skg)
     part = parts_a[comm.rank]
     mb = el_b.m_directed
     fused_routed = routing == "fused" and storage == "source_block"
@@ -461,6 +568,11 @@ def generate_rank_1d_pipelined(
         nonlocal generated
         with tel.span("generate", cat="phase", round=_round):
             block = next(chunks, None)
+            if block is not None and acceptor is not None:
+                if fused_routed:
+                    block = [acceptor.filter_edges(b) for b in block]
+                else:
+                    block = acceptor.filter_edges(block)
         if fused_routed:
             outgoing = empty_buckets if block is None else block
             generated += sum(len(b) for b in outgoing)
@@ -516,6 +628,7 @@ def generate_rank_1d_pipelined(
     for _block in chunks:  # pragma: no cover - defensive
         raise PartitionError("pipelined round count underestimated")
     edges = np.vstack(stored) if stored else _EMPTY
+    _emit_skg_counters(tel, acceptor)
     tel.add("edges.generated", generated)
     tel.add("edges.stored", len(edges))
     return RankOutput(comm.rank, edges, generated)

@@ -57,21 +57,33 @@ def _rank_stream_to_file(
     cells,
     directory: str,
     chunk_size: int,
+    skg=None,
 ) -> tuple[str, int]:
     """Rank program: stream this rank's cells into one ``.npz`` shard.
 
     Chunks are buffered per rank and written once at the end of the rank's
     generation (numpy's npz container is not appendable); the buffered list
     holds views of at most ``chunk_size`` edges each, so peak *extra*
-    memory beyond the final shard is one chunk.
+    memory beyond the final shard is one chunk.  With an SKG spec the
+    chunks are filtered through the deterministic acceptance hash before
+    buffering, so the shard holds (and the count reports) accepted edges
+    only.
     """
+    acceptor = None
+    if skg is not None:
+        from repro.skg.sample import SKGAcceptor
+
+        acceptor = SKGAcceptor(skg)
     out_path = Path(directory) / f"shard_{comm.rank:05d}.npz"
     blocks: list[np.ndarray] = []
     count = 0
     for part_a, part_b in cells:
         for blk in iter_kron_product(part_a, part_b, chunk_size):
-            blocks.append(blk)
-            count += len(blk)
+            if acceptor is not None:
+                blk = acceptor.filter_edges(blk)
+            if len(blk):
+                blocks.append(blk)
+                count += len(blk)
     edges = np.vstack(blocks) if blocks else np.empty((0, 2), dtype=np.int64)
     np.savez_compressed(out_path, edges=edges)
     return str(out_path), count
@@ -88,6 +100,7 @@ def generate_to_directory(
     chunk_size: int = DEFAULT_CHUNK,
     rendezvous: str | None = None,
     local_ranks: tuple[int, ...] | None = None,
+    skg=None,
 ) -> ShardManifest:
     """Generate ``A (x) B`` across ranks, writing one shard file per rank.
 
@@ -97,7 +110,11 @@ def generate_to_directory(
     server instead of a private in-process one; ``local_ranks`` restricts
     this invocation to its share of a multi-host world, in which case the
     manifest covers only the shards written on this host (the remote
-    shards live on the other hosts' filesystems).
+    shards live on the other hosts' filesystems).  ``skg`` (an
+    :class:`repro.skg.model.SKGSpec`) filters the streamed product with
+    the stochastic tier's acceptance hash -- the factors must then
+    enumerate the spec's candidate space
+    (:func:`repro.skg.distributed.skg_candidate_factors`).
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -112,7 +129,7 @@ def generate_to_directory(
 
     def rank_fn(comm: Communicator):
         return _rank_stream_to_file(
-            comm, assignments[comm.rank], str(directory), chunk_size
+            comm, assignments[comm.rank], str(directory), chunk_size, skg
         )
 
     if backend in ("process", "socket"):
@@ -124,7 +141,7 @@ def generate_to_directory(
             run_kwargs["local_ranks"] = local_ranks
         results = spmd_run(
             _rank_entry, nranks, assignments, str(directory), chunk_size,
-            **run_kwargs,
+            skg, **run_kwargs,
         )
     else:
         results = spmd_run(rank_fn, nranks, backend=backend)
@@ -142,8 +159,8 @@ def generate_to_directory(
     )
 
 
-def _rank_entry(comm, assignments, directory, chunk_size):
+def _rank_entry(comm, assignments, directory, chunk_size, skg=None):
     """Module-level entry for the process backend (picklable)."""
     return _rank_stream_to_file(
-        comm, assignments[comm.rank], directory, chunk_size
+        comm, assignments[comm.rank], directory, chunk_size, skg
     )

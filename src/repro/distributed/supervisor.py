@@ -357,6 +357,8 @@ def generation_run_key(
     *,
     pipeline: str = "sync",
     wire: str = "raw",
+    model: str = "exact",
+    skg=None,
 ) -> str:
     """Content-addressed signature of one generation configuration.
 
@@ -366,13 +368,28 @@ def generation_run_key(
     varint codec re-sorts each exchanged block (shard row order changes);
     ``pipeline`` is included for symmetry even though sync and async are
     bit-identical -- run keys identify configurations, not equivalence
-    classes.
+    classes.  ``model="skg"`` appends the spec digest
+    (:meth:`repro.skg.model.SKGSpec.digest`, covering the seed matrix,
+    ``skg_seed``, and noise parameters), so stochastic runs with
+    different specs can never share checkpoints; exact keys are
+    unchanged.
     """
     return (
         f"gen-{edges_digest(el_a.edges):016x}-{edges_digest(el_b.edges):016x}"
         f"-r{nranks}-{scheme}-{storage}-{routing}-c{chunk_size}"
-        f"-{pipeline}-{wire}"
+        f"-{pipeline}-{wire}{_model_token(model, skg)}"
     )
+
+
+def _model_token(model: str, skg) -> str:
+    """Run-key suffix identifying the generation model (empty for exact)."""
+    if model == "exact" and skg is None:
+        return ""
+    if skg is None:
+        raise CheckpointError(
+            f"model {model!r} requires an SKG spec for run-key derivation"
+        )
+    return f"-skg{skg.digest():016x}"
 
 
 def generation_family_key(
@@ -385,18 +402,21 @@ def generation_family_key(
     *,
     pipeline: str = "sync",
     wire: str = "raw",
+    model: str = "exact",
+    skg=None,
 ) -> str:
     """The rank-count-independent part of :func:`generation_run_key`.
 
     Two run keys with the same family describe the same edge set sharded
     at different world sizes -- the elastic-resume compatibility class.
-    Everything that changes *contents* stays in; only ``r{nranks}``
-    (which changes *placement*) is wildcarded.
+    Everything that changes *contents* stays in -- including the SKG spec
+    digest, since a stochastic run's edge set is a function of the spec;
+    only ``r{nranks}`` (which changes *placement*) is wildcarded.
     """
     return (
         f"gen-{edges_digest(el_a.edges):016x}-{edges_digest(el_b.edges):016x}"
         f"-r*-{scheme}-{storage}-{routing}-c{chunk_size}"
-        f"-{pipeline}-{wire}"
+        f"-{pipeline}-{wire}{_model_token(model, skg)}"
     )
 
 
@@ -443,6 +463,8 @@ def generate_distributed_supervised(
     routing: str = "fused",
     pipeline: str = "sync",
     wire: str = "raw",
+    model: str = "exact",
+    skg=None,
     fault_plan: FaultPlan | None = None,
     max_attempts: int = 3,
     checkpoint_dir: str | os.PathLike | None = None,
@@ -473,7 +495,7 @@ def generate_distributed_supervised(
     if run_key is None and checkpoint_dir is not None:
         run_key = generation_run_key(
             el_a, el_b, nranks, scheme, storage, routing, chunk_size,
-            pipeline=pipeline, wire=wire,
+            pipeline=pipeline, wire=wire, model=model, skg=skg,
         )
     # Rank programs without a storage exchange never touch the
     # communicator, so their shards resume independently; routed programs
@@ -495,7 +517,7 @@ def generate_distributed_supervised(
     if checkpoint_dir is not None and effective_storage is not None:
         family = generation_family_key(
             el_a, el_b, scheme, storage, routing, chunk_size,
-            pipeline=pipeline, wire=wire,
+            pipeline=pipeline, wire=wire, model=model, skg=skg,
         )
         n_c = el_a.n * el_b.n
         pre_attempt = functools.partial(
@@ -525,6 +547,8 @@ def generate_distributed_supervised(
         routing=routing,
         pipeline=pipeline,
         wire=wire,
+        model=model,
+        skg=skg,
         runner=runner,
         telemetry=telemetry,
     )
@@ -700,6 +724,8 @@ def run_chaos_matrix(
     chunk_size: int = DEFAULT_CHUNK,
     pipeline: str = "sync",
     wire: str = "raw",
+    model: str = "exact",
+    skg=None,
     recv_timeout_s: float | None = 2.0,
     max_attempts: int = 4,
     checkpoint_root: str | os.PathLike | None = None,
@@ -723,6 +749,12 @@ def run_chaos_matrix(
     reconnect/replay counts the connection-healing machinery reported --
     so the JSON report shows not just that a cell recovered but how much
     wire-level repair the recovery took.
+
+    ``model="skg"`` (with an :class:`repro.skg.model.SKGSpec`) runs every
+    cell through the stochastic acceptance filter: the fault-free
+    references and all recovered cells then prove that seeded Bernoulli
+    acceptance -- not just exact enumeration -- survives crashes, drops,
+    and checkpointed retry bit-identically.
     """
     if plans is None:
         plans = default_fault_matrix(seed=seed, nranks=nranks)
@@ -731,7 +763,7 @@ def run_chaos_matrix(
         el, _ = generate_distributed(
             el_a, el_b, nranks, scheme=scheme, storage=storage,
             backend="thread", chunk_size=chunk_size, routing=routing,
-            pipeline=pipeline, wire=wire,
+            pipeline=pipeline, wire=wire, model=model, skg=skg,
         )
         references[routing] = canonical_edges(el.edges)
     report = ChaosReport()
@@ -756,6 +788,7 @@ def run_chaos_matrix(
                         el_a, el_b, nranks, scheme=scheme, storage=storage,
                         backend=backend, chunk_size=chunk_size,
                         routing=routing, pipeline=pipeline, wire=wire,
+                        model=model, skg=skg,
                         fault_plan=plan, max_attempts=max_attempts,
                         checkpoint_dir=checkpoint_dir, report=sup,
                         telemetry=tel,

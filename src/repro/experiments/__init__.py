@@ -25,6 +25,10 @@ from repro.experiments.ablation_artifacts import (
     ArtifactAblationResult,
     run_ablation_artifacts,
 )
+from repro.experiments.skg_validation import (
+    SKGValidationResult,
+    run_skg_validation,
+)
 from repro.experiments.runner import ExperimentResults, run_all, render_report
 
 __all__ = [
@@ -48,6 +52,8 @@ __all__ = [
     "run_ablation_exploit",
     "ArtifactAblationResult",
     "run_ablation_artifacts",
+    "SKGValidationResult",
+    "run_skg_validation",
     "ExperimentResults",
     "run_all",
     "render_report",

@@ -16,6 +16,7 @@ from repro.experiments.fig1_eccentricity import run_fig1
 from repro.experiments.fig2_community import run_fig2
 from repro.experiments.rejection_family import run_rejection_family
 from repro.experiments.remark1_scaling import run_remark1
+from repro.experiments.skg_validation import run_skg_validation
 from repro.experiments.sublinear_triangles import run_sublinear_triangles
 from repro.experiments.table_gnutella import run_table_gnutella
 from repro.experiments.table_scaling_laws import run_table_scaling_laws
@@ -37,6 +38,7 @@ class ExperimentResults:
     e8_rejection: object
     a1_exploit: object
     a2_artifacts: object
+    s1_skg_validation: object
 
 
 def run_all(*, fast: bool = True, seed: int = 20190814) -> ExperimentResults:
@@ -62,6 +64,9 @@ def run_all(*, fast: bool = True, seed: int = 20190814) -> ExperimentResults:
         a2_artifacts=run_ablation_artifacts(
             factor_n=80 if fast else 240, seed=seed
         ),
+        s1_skg_validation=run_skg_validation(
+            num_seeds=3 if fast else 8, seed=seed
+        ),
     )
 
 
@@ -78,6 +83,8 @@ def render_report(results: ExperimentResults) -> str:
         ("E8 - Def. 8 rejection families", results.e8_rejection),
         ("A1 - structure-exploit ablation (Section IV-C)", results.a1_exploit),
         ("A2 - degree-artifact ablation (Section IV-C)", results.a2_artifacts),
+        ("S1 - stochastic-tier validation (DESIGN.md section 13)",
+         results.s1_skg_validation),
     ]
     parts = []
     for title, obj in sections:

@@ -35,6 +35,7 @@ __all__ = [
     "rmat",
     "directed_cycle",
     "directed_erdos_renyi",
+    "complete_with_loops",
 ]
 
 
@@ -240,6 +241,19 @@ def directed_cycle(n: int) -> EdgeList:
         raise GraphFormatError(f"directed cycle needs n >= 2, got {n}")
     u = np.arange(n, dtype=np.int64)
     return EdgeList(np.column_stack([u, (u + 1) % n]), n)
+
+
+def complete_with_loops(n: int) -> EdgeList:
+    """All ``n**2`` ordered pairs, self loops included.
+
+    The Kronecker product of two such graphs enumerates every ordered
+    vertex pair of the product exactly once -- the candidate space the
+    stochastic tier (:mod:`repro.skg`) filters with its acceptance hash.
+    """
+    n = check_positive_int(n, "n")
+    i = np.repeat(np.arange(n, dtype=np.int64), n)
+    j = np.tile(np.arange(n, dtype=np.int64), n)
+    return EdgeList(np.column_stack([i, j]), n)
 
 
 def directed_erdos_renyi(n: int, p: float, seed: int | None = None) -> EdgeList:

@@ -71,7 +71,7 @@ class DeterminismRule(Rule):
         "ground-truth code must not depend on set iteration order, global "
         "np.random state, or time-derived seeds"
     )
-    scope_dirs = ("groundtruth", "kronecker")
+    scope_dirs = ("groundtruth", "kronecker", "skg")
 
     def check(self, tree: ast.Module, ctx: LintContext) -> Iterable[Finding]:
         self._ctx = ctx

@@ -84,7 +84,7 @@ class DtypeOverflowRule(Rule):
         "Kronecker index arithmetic and allocations must be explicit int64; "
         "narrow dtypes silently wrap at paper scale"
     )
-    scope_dirs = ("kronecker", "distributed")
+    scope_dirs = ("kronecker", "distributed", "skg")
 
     def check(self, tree: ast.Module, ctx: LintContext) -> Iterable[Finding]:
         self._ctx = ctx

@@ -10,6 +10,13 @@ registered, but the underlying :class:`KroneckerGraph` object is shared
 through the same content addressing (``graph key = digest_A + "x" +
 digest_B``), so the analytics cache warms across tenants.
 
+*SKG specs* -- the stochastic tier's :class:`~repro.skg.model.SKGSpec`
+parameter bundles -- follow the same pattern: the pool is content
+addressed by the spec digest (the same 64-bit digest the distributed
+run keys fold), visibility is per tenant, and served expected-property
+answers flow through the same :class:`~repro.service.cache.AnalyticsCache`
+with ``("skg", digest)`` standing in for the factor-pair address.
+
 Nothing here is async; the registry is plain data guarded by the event
 loop's single-threaded execution (the server never awaits while mutating
 it).
@@ -25,8 +32,9 @@ from repro.errors import GraphNotFoundError, RequestError, TenantNotFoundError
 from repro.graph.edgelist import EdgeList
 from repro.groundtruth.memo import factor_digest
 from repro.kronecker.lazy import KroneckerGraph
+from repro.skg.model import SKGSpec
 
-__all__ = ["digest_hex", "GraphHandle", "ServiceRegistry"]
+__all__ = ["digest_hex", "GraphHandle", "SKGHandle", "ServiceRegistry"]
 
 
 def digest_hex(digest: int) -> str:
@@ -59,9 +67,33 @@ class GraphHandle:
         }
 
 
+@dataclass(frozen=True)
+class SKGHandle:
+    """One registered stochastic spec plus its content address."""
+
+    digest: str
+    spec: SKGSpec
+
+    def summary(self) -> dict:
+        s = self.spec
+        return {
+            "skg": self.digest,
+            "name": s.name,
+            "k": s.k,
+            "n": s.n,
+            "theta": list(s.theta),
+            "skg_seed": s.skg_seed,
+            "noise_b": s.noise_b,
+            "noise_seed": s.noise_seed,
+            "directed": s.directed,
+            "self_loops": s.self_loops,
+        }
+
+
 @dataclass
 class _Tenant:
     graphs: dict[str, GraphHandle] = field(default_factory=dict)
+    skgs: dict[str, SKGHandle] = field(default_factory=dict)
 
 
 class ServiceRegistry:
@@ -70,6 +102,7 @@ class ServiceRegistry:
     def __init__(self) -> None:
         self._factors: dict[str, EdgeList] = {}
         self._graphs: dict[str, KroneckerGraph] = {}  # content-addressed pool
+        self._skgs: dict[str, SKGSpec] = {}  # content-addressed spec pool
         self._tenants: dict[str, _Tenant] = {}
 
     # ---- factors --------------------------------------------------------
@@ -159,6 +192,68 @@ class ServiceRegistry:
         t = self._tenant(tenant)
         return [t.graphs[k] for k in sorted(t.graphs)]
 
+    # ---- SKG specs ------------------------------------------------------
+    def skg_spec_from_payload(self, doc: dict) -> SKGSpec:
+        """Build an :class:`SKGSpec` from a request payload.
+
+        ``{"seed_matrix": name, "k": int?, "skg_seed": int?,
+        "noise_b": float?, "noise_seed": int?, "directed": bool?,
+        "self_loops": bool?}`` -- the same knobs the CLI's
+        ``--model skg`` flags expose, so a served spec digest matches
+        the one a local generation run folds into its run key.
+        """
+        if not isinstance(doc, dict) or "seed_matrix" not in doc:
+            raise RequestError(
+                "skg payload must carry a 'seed_matrix' library name"
+            )
+        name = doc["seed_matrix"]
+        if not isinstance(name, str):
+            raise RequestError("'seed_matrix' must be a string")
+        k = doc.get("k")
+        if k is not None and (isinstance(k, bool) or not isinstance(k, int)):
+            raise RequestError("'k' must be an integer")
+        for field_name in ("skg_seed", "noise_seed"):
+            v = doc.get(field_name, 0)
+            if isinstance(v, bool) or not isinstance(v, int):
+                raise RequestError(f"{field_name!r} must be an integer")
+        noise_b = doc.get("noise_b", 0.0)
+        if isinstance(noise_b, bool) or not isinstance(noise_b, (int, float)):
+            raise RequestError("'noise_b' must be a number")
+        return SKGSpec.from_library(
+            name,
+            k=k,
+            skg_seed=int(doc.get("skg_seed", 0)),
+            noise_b=float(noise_b),
+            noise_seed=int(doc.get("noise_seed", 0)),
+            directed=bool(doc.get("directed", False)),
+            self_loops=bool(doc.get("self_loops", False)),
+        )
+
+    def register_skg(self, tenant: str, spec: SKGSpec) -> SKGHandle:
+        """Register a stochastic spec for ``tenant``; returns its handle.
+
+        Idempotent through content addressing: the digest is the same
+        64-bit spec digest the distributed run keys fold, so the served
+        address of an SKG instance equals its generation identity.
+        """
+        digest = digest_hex(spec.digest())
+        pooled = self._skgs.setdefault(digest, spec)
+        handle = SKGHandle(digest=digest, spec=pooled)
+        self._tenant(tenant, create=True).skgs[digest] = handle
+        return handle
+
+    def skg(self, tenant: str, digest: str) -> SKGHandle:
+        handle = self._tenant(tenant).skgs.get(digest)
+        if handle is None:
+            raise GraphNotFoundError(
+                f"tenant {tenant!r} has no skg spec {digest!r}", digest=digest
+            )
+        return handle
+
+    def skgs_of(self, tenant: str) -> list[SKGHandle]:
+        t = self._tenant(tenant)
+        return [t.skgs[d] for d in sorted(t.skgs)]
+
     @property
     def num_factors(self) -> int:
         return len(self._factors)
@@ -166,6 +261,10 @@ class ServiceRegistry:
     @property
     def num_graphs(self) -> int:
         return len(self._graphs)
+
+    @property
+    def num_skg(self) -> int:
+        return len(self._skgs)
 
     @property
     def tenants(self) -> list[str]:

@@ -31,6 +31,16 @@ API (all JSON)::
     POST /v1/tenants/{t}/graphs/{g}/degrees      {"vertices": [p,...]}
     POST /v1/tenants/{t}/graphs/{g}/neighbors    {"vertices": [p,...], "limit": k}
     POST /v1/tenants/{t}/graphs/{g}/analytics/{property}   {"params": {...}}
+    POST /v1/tenants/{t}/skg                     {"seed_matrix": name, ...}
+    GET  /v1/tenants/{t}/skg
+    GET  /v1/tenants/{t}/skg/{d}/summary
+    POST /v1/tenants/{t}/skg/{d}/expected/{property}       {"params": {...}}
+
+The ``skg`` routes serve the stochastic tier: specs are registered by
+content address (the same 64-bit digest the distributed run keys fold),
+and closed-form *expected* properties from :mod:`repro.skg.expected`
+flow through the same analytics cache as the exact ground truth, keyed
+under the ``("skg", digest)`` pair address.
 """
 
 from __future__ import annotations
@@ -55,6 +65,10 @@ from repro.service.protocol import (
     status_of,
 )
 from repro.service.registry import GraphHandle, ServiceRegistry
+from repro.skg.expected import (
+    compute_expected_property,
+    expected_property_names,
+)
 from repro.telemetry.clock import perf_clock
 from repro.telemetry.session import RankTelemetry, TelemetryConfig, TelemetrySession
 
@@ -258,6 +272,20 @@ class KronService:
                         self._h_analytics,
                         (tenant, rest[1], rest[3]),
                     )
+            if rest == ["skg"] and method == "POST":
+                return "skg.register", self._h_register_skg, (tenant,)
+            if rest == ["skg"] and method == "GET":
+                return "skg.list", self._h_list_skg, (tenant,)
+            if len(rest) == 3 and rest[0] == "skg" and rest[2] == "summary":
+                if method == "GET":
+                    return "skg.summary", self._h_skg_summary, (tenant, rest[1])
+            if len(rest) == 4 and rest[0] == "skg" and rest[2] == "expected":
+                if method == "POST":
+                    return (
+                        "skg.expected",
+                        self._h_skg_expected,
+                        (tenant, rest[1], rest[3]),
+                    )
         raise _NoRoute(f"no route for {method} {request.path}")
 
     # ---- handlers -------------------------------------------------------
@@ -265,7 +293,10 @@ class KronService:
         return {"ok": True, "graphs": self.registry.num_graphs}
 
     async def _h_properties(self, request: HTTPRequest) -> dict:
-        return {"properties": property_names()}
+        return {
+            "properties": property_names(),
+            "skg_expected": expected_property_names(),
+        }
 
     async def _h_metrics(self, request: HTTPRequest) -> dict:
         memo = default_memo()
@@ -285,6 +316,7 @@ class KronService:
             "registry": {
                 "factors": self.registry.num_factors,
                 "graphs": self.registry.num_graphs,
+                "skg": self.registry.num_skg,
                 "tenants": self.registry.tenants,
             },
         }
@@ -443,6 +475,56 @@ class KronService:
         tel.add("service.analytics_queries")
         head = (
             f'{{"graph":"{handle.key}","property":"{prop}",'
+            f'"cached":{"true" if was_hit else "false"},"value":'
+        ).encode("utf-8")
+        return head + payload + b"}"
+
+    # ---- stochastic tier ------------------------------------------------
+    async def _h_register_skg(self, request: HTTPRequest, tenant: str) -> dict:
+        spec = self.registry.skg_spec_from_payload(request.json())
+        handle = self.registry.register_skg(tenant, spec)
+        self.telemetry.add("service.skg_registered")
+        return handle.summary()
+
+    async def _h_list_skg(self, request: HTTPRequest, tenant: str) -> dict:
+        return {"skg": [h.summary() for h in self.registry.skgs_of(tenant)]}
+
+    async def _h_skg_summary(
+        self, request: HTTPRequest, tenant: str, digest: str
+    ) -> dict:
+        return self.registry.skg(tenant, digest).summary()
+
+    async def _h_skg_expected(
+        self, request: HTTPRequest, tenant: str, digest: str, prop: str
+    ) -> bytes:
+        """Served expected property, cached by ``("skg", digest)`` address.
+
+        Mirrors :meth:`_h_analytics`: the result is a pure function of
+        the content-addressed spec and the request params, so it shares
+        the analytics cache (integrity digests, single-flight, LRU) with
+        the exact ground truth -- the spec digest occupies the
+        ``digest_b`` slot of the key with the literal ``"skg"`` marker
+        as ``digest_a``, which can never collide with a 16-hex factor
+        digest.
+        """
+        from repro.groundtruth.memo import params_key
+
+        handle = self.registry.skg(tenant, digest)
+        doc = request.json()
+        params = doc.get("params", {})
+        if not isinstance(params, dict):
+            raise RequestError("'params' must be an object", property=prop)
+        pkey = params_key(params)
+        key = cache_key("skg", handle.digest, prop, pkey)
+        tel = self.telemetry
+        with tel.span("service.skg_expected", cat="service", property=prop):
+            payload, was_hit = await self.cache.get_or_compute(
+                key,
+                lambda: compute_expected_property(prop, handle.spec, params),
+            )
+        tel.add("service.skg_expected_queries")
+        head = (
+            f'{{"skg":"{handle.digest}","property":"{prop}",'
             f'"cached":{"true" if was_hit else "false"},"value":'
         ).encode("utf-8")
         return head + payload + b"}"

@@ -1,0 +1,316 @@
+"""Closed-form expected properties of stochastic Kronecker graphs.
+
+This module plays the role :mod:`repro.groundtruth` plays for the exact
+model: where the paper derives *exact* property values for nonstochastic
+Kronecker products, the SKG literature derives *expected* values, and
+every formula here factorizes over the ``k`` per-level matrices so no
+graph is ever materialized.
+
+With ``P = theta_0 (x) ... (x) theta_{k-1}`` the ``N x N`` elementwise
+probability matrix (``N = 2**k``):
+
+* ``sum(P) = prod_l sum(theta_l)`` and
+  ``trace(P) = prod_l (t00_l + t11_l)`` give the expected ordered-pair
+  and self-loop counts, hence expected edge rows / undirected edges.
+* The expected degree of vertex ``u`` is
+  ``lam_u = prod_l rowsum(theta_l)[bit_l(u)]`` (minus its loop
+  probability when self-loops are excluded); the degree *distribution*
+  is the Poisson mixture ``sum_u Pois(d; lam_u)`` -- the approximation
+  under which Seshadhri-Pinar-Kolda exhibit the oscillation that
+  :mod:`repro.skg.noisy` repairs.
+* Isolated vertices: ``sum_u exp(-lam_u)`` (Poisson), or the exact
+  ``sum_u prod_v (1 - P[u, v])`` from the dense matrix at small ``k``.
+* Triangles via trace identities:
+  ``sum over distinct (u,v,w) of P_uv P_vw P_wu
+  = S3 - 3*T2 + 2*T1`` with ``S3 = prod_l tr(theta_l^3)``,
+  ``T2 = prod_l sum_{a,c} theta_aa theta_ac theta_ca`` and
+  ``T1 = prod_l (t00^3 + t11^3)``; divide by 6 for unordered triangles
+  of a symmetric model.
+"""
+
+from __future__ import annotations
+
+from math import comb, exp
+
+import numpy as np
+
+from repro.errors import AssumptionError, GraphFormatError
+from repro.skg.model import SKGSpec, level_bits, probability_matrix
+
+__all__ = [
+    "EXPECTED_PROPERTIES",
+    "compute_expected_property",
+    "degree_profile",
+    "expected_degree_histogram",
+    "expected_degrees",
+    "expected_edge_rows",
+    "expected_isolated_count",
+    "expected_properties",
+    "expected_property_names",
+    "expected_triangles",
+    "expected_undirected_edges",
+]
+
+# Per-vertex arrays are materialized up to this exponent (2**22 floats).
+_MAX_DENSE_K = 22
+
+
+def _sums(thetas: np.ndarray) -> tuple[float, float]:
+    """``(prod_l sum(theta_l), prod_l trace(theta_l))``."""
+    sum_all = float(np.prod(np.sum(thetas, axis=(1, 2))))
+    sum_diag = float(np.prod(thetas[:, 0, 0] + thetas[:, 1, 1]))
+    return sum_all, sum_diag
+
+
+def expected_edge_rows(spec: SKGSpec) -> float:
+    """Expected number of stored edge rows (accepted ordered pairs).
+
+    For an undirected spec both directions of an accepted pair are
+    stored, so this is symmetric-adjacency ``nnz``, i.e. twice
+    :func:`expected_undirected_edges` (plus loops when enabled).
+    """
+    sum_all, sum_diag = _sums(spec.level_matrices())
+    return sum_all if spec.self_loops else sum_all - sum_diag
+
+
+def expected_undirected_edges(spec: SKGSpec) -> float:
+    """Expected undirected (non-loop) edge count ``{u, v}, u != v``.
+
+    Only meaningful for undirected specs, where the pair is a single
+    Bernoulli trial on the canonical uniform.
+    """
+    if spec.directed:
+        raise AssumptionError(
+            "expected_undirected_edges requires an undirected spec"
+        )
+    sum_all, sum_diag = _sums(spec.level_matrices())
+    return (sum_all - sum_diag) / 2.0
+
+
+def degree_profile(spec: SKGSpec) -> tuple[np.ndarray, np.ndarray]:
+    """Expected-degree classes: ``(lams, counts)`` arrays.
+
+    Vertices sharing an expected degree ``lam`` are grouped: plain SKG
+    degrees depend only on the popcount of the vertex id, giving
+    ``k + 1`` classes regardless of graph size; noisy SKG breaks the
+    level symmetry, so classes are per-vertex (bounded to
+    ``k <= _MAX_DENSE_K``).
+    """
+    thetas = spec.level_matrices()
+    k = spec.k
+    rows = np.sum(thetas, axis=2)          # (k, 2) row sums
+    diag = np.stack([thetas[:, 0, 0], thetas[:, 1, 1]], axis=1)  # (k, 2)
+    if spec.noise_b == 0.0:
+        # All levels identical: lam depends only on popcount(u).
+        r0, r1 = float(rows[0, 0]), float(rows[0, 1])
+        d0, d1 = float(diag[0, 0]), float(diag[0, 1])
+        j = np.arange(k + 1, dtype=np.int64)
+        lams = r0 ** (k - j).astype(np.float64) * r1 ** j.astype(np.float64)
+        if not spec.self_loops:
+            lams = lams - d0 ** (k - j).astype(np.float64) \
+                * d1 ** j.astype(np.float64)
+        counts = np.array([comb(k, int(jj)) for jj in j], dtype=np.float64)
+        return lams, counts
+    if k > _MAX_DENSE_K:
+        raise GraphFormatError(
+            f"noisy degree profile materializes 2**k vertices; k={k} "
+            f"exceeds {_MAX_DENSE_K}"
+        )
+    bits = level_bits(np.arange(spec.n, dtype=np.int64), k)  # (k, n)
+    lams = np.prod(rows[np.arange(k)[:, np.newaxis], bits], axis=0)
+    if not spec.self_loops:
+        lams = lams - np.prod(
+            diag[np.arange(k)[:, np.newaxis], bits], axis=0
+        )
+    return lams, np.ones(spec.n, dtype=np.float64)
+
+
+def expected_degrees(spec: SKGSpec) -> np.ndarray:
+    """Per-vertex expected (out-)degree array of length ``2**k``.
+
+    Requires ``k <= _MAX_DENSE_K``; for summaries at larger ``k`` use
+    :func:`degree_profile`, which stays ``O(k)`` for plain SKG.
+    """
+    if spec.k > _MAX_DENSE_K:
+        raise GraphFormatError(
+            f"expected_degrees materializes 2**k floats; k={spec.k} "
+            f"exceeds {_MAX_DENSE_K}"
+        )
+    thetas = spec.level_matrices()
+    k = spec.k
+    rows = np.sum(thetas, axis=2)
+    diag = np.stack([thetas[:, 0, 0], thetas[:, 1, 1]], axis=1)
+    bits = level_bits(np.arange(spec.n, dtype=np.int64), k)
+    lams = np.prod(rows[np.arange(k)[:, np.newaxis], bits], axis=0)
+    if not spec.self_loops:
+        lams = lams - np.prod(
+            diag[np.arange(k)[:, np.newaxis], bits], axis=0
+        )
+    return lams
+
+
+def expected_degree_histogram(
+    spec: SKGSpec, max_degree: int | None = None
+) -> np.ndarray:
+    """Expected count of vertices with each degree, ``0..max_degree``.
+
+    Poisson-mixture approximation: ``hist[d] = sum_u Pois(d; lam_u)``,
+    evaluated with the stable pmf recurrence
+    ``Pois(d+1) = Pois(d) * lam / (d + 1)``.  ``max_degree`` defaults to
+    a few standard deviations past the largest expected degree.
+    """
+    lams, counts = degree_profile(spec)
+    lam_max = float(np.max(lams)) if len(lams) else 0.0
+    if max_degree is None:
+        max_degree = int(np.ceil(lam_max + 6.0 * np.sqrt(lam_max + 1.0)))
+    hist = np.zeros(max_degree + 1, dtype=np.float64)
+    # pmf[i] = Pois(d; lams[i]); start at d = 0.
+    with np.errstate(under="ignore"):
+        pmf = np.exp(-lams)
+        for d in range(max_degree + 1):
+            hist[d] = float(np.sum(pmf * counts))
+            pmf = pmf * lams / np.float64(d + 1)
+    return hist
+
+
+def expected_isolated_count(
+    spec: SKGSpec, *, method: str = "poisson"
+) -> float:
+    """Expected number of degree-0 vertices.
+
+    ``method="poisson"`` (default) uses ``sum_u exp(-lam_u)`` -- the
+    SKG literature's estimate, accurate when individual pair
+    probabilities are small.  ``method="exact"`` evaluates
+    ``sum_u prod_v (1 - P[u, v])`` from the dense probability matrix
+    (small ``k`` only); for undirected specs this is exact because the
+    pairs incident to ``u`` are independent Bernoulli trials.
+    """
+    if method == "poisson":
+        lams, counts = degree_profile(spec)
+        with np.errstate(under="ignore"):
+            return float(np.sum(np.exp(-lams) * counts))
+    if method != "exact":
+        raise GraphFormatError(
+            f"method must be 'poisson' or 'exact', got {method!r}"
+        )
+    mat = probability_matrix(spec.level_matrices())
+    if not spec.self_loops:
+        np.fill_diagonal(mat, 0.0)
+    if spec.directed:
+        # Isolated = no out- and no in-edges; row/col trials overlap only
+        # at the (excluded) diagonal, so the product is over both.
+        keep = np.prod(1.0 - mat, axis=1) * np.prod(1.0 - mat, axis=0)
+        return float(np.sum(keep))
+    return float(np.sum(np.prod(1.0 - mat, axis=1)))
+
+
+def expected_triangles(spec: SKGSpec) -> float:
+    """Expected triangle count on three *distinct* vertices.
+
+    Uses the trace identity described in the module docstring; for an
+    undirected spec the result is the expected number of unordered
+    triangles, for a directed spec the expected number of directed
+    3-cycles (each counted once, not per rotation).
+    """
+    thetas = spec.level_matrices()
+    s3 = float(np.prod(np.trace(thetas @ thetas @ thetas,
+                                axis1=1, axis2=2)))
+    sq = thetas @ thetas
+    diag = np.stack([thetas[:, 0, 0], thetas[:, 1, 1]], axis=1)
+    sq_diag = np.stack([sq[:, 0, 0], sq[:, 1, 1]], axis=1)
+    t2 = float(np.prod(np.sum(diag * sq_diag, axis=1)))
+    t1 = float(np.prod(diag[:, 0] ** 3 + diag[:, 1] ** 3))
+    distinct_cycles = s3 - 3.0 * t2 + 2.0 * t1
+    if spec.directed:
+        return distinct_cycles / 3.0
+    return distinct_cycles / 6.0
+
+
+def expected_properties(spec: SKGSpec) -> dict:
+    """One-call summary of every closed-form expectation."""
+    out = {
+        "model": "skg",
+        "name": spec.name,
+        "k": spec.k,
+        "n": spec.n,
+        "directed": spec.directed,
+        "self_loops": spec.self_loops,
+        "noise_b": spec.noise_b,
+        "expected_edge_rows": expected_edge_rows(spec),
+        "expected_isolated": expected_isolated_count(spec),
+        "expected_triangles": expected_triangles(spec),
+    }
+    if not spec.directed:
+        out["expected_undirected_edges"] = expected_undirected_edges(spec)
+    lams, counts = degree_profile(spec)
+    total = float(np.sum(lams * counts))
+    out["expected_mean_degree"] = total / float(spec.n)
+    out["expected_max_degree"] = float(np.max(lams)) if len(lams) else 0.0
+    out["expected_isolated_fraction"] = (
+        out["expected_isolated"] / float(spec.n)
+    )
+    return out
+
+
+def _prop_edge_count(spec: SKGSpec, params: dict) -> dict:
+    out = {"expected_edge_rows": expected_edge_rows(spec)}
+    if not spec.directed:
+        out["expected_undirected_edges"] = expected_undirected_edges(spec)
+    return out
+
+
+def _prop_degree_histogram(spec: SKGSpec, params: dict) -> dict:
+    max_degree = params.get("max_degree")
+    hist = expected_degree_histogram(
+        spec, None if max_degree is None else int(max_degree)
+    )
+    return {"max_degree": len(hist) - 1, "histogram": hist.tolist()}
+
+
+def _prop_isolated(spec: SKGSpec, params: dict) -> dict:
+    method = str(params.get("method", "poisson"))
+    count = expected_isolated_count(spec, method=method)
+    return {
+        "method": method,
+        "expected_isolated": count,
+        "expected_isolated_fraction": count / float(spec.n),
+    }
+
+
+def _prop_triangles(spec: SKGSpec, params: dict) -> dict:
+    return {"expected_triangles": expected_triangles(spec)}
+
+
+def _prop_summary(spec: SKGSpec, params: dict) -> dict:
+    return expected_properties(spec)
+
+
+#: Served expected-property registry (the :mod:`repro.service.analytics`
+#: analogue for SKG specs).  Every handler is ``f(spec, params) -> dict``
+#: of JSON-serializable values.
+EXPECTED_PROPERTIES: dict = {
+    "edge_count": _prop_edge_count,
+    "degree_histogram": _prop_degree_histogram,
+    "isolated_vertices": _prop_isolated,
+    "triangles": _prop_triangles,
+    "summary": _prop_summary,
+}
+
+
+def expected_property_names() -> list[str]:
+    """Registered expected-property names, sorted."""
+    return sorted(EXPECTED_PROPERTIES)
+
+
+def compute_expected_property(
+    name: str, spec: SKGSpec, params: dict | None = None
+) -> dict:
+    """Dispatch one registered expected property by name."""
+    try:
+        fn = EXPECTED_PROPERTIES[name]
+    except KeyError:
+        raise GraphFormatError(
+            f"unknown expected property {name!r}; "
+            f"available: {', '.join(expected_property_names())}"
+        ) from None
+    return fn(spec, params or {})

@@ -1,0 +1,127 @@
+"""Deterministic hash-thresholded SKG sampling.
+
+The acceptance decision for a candidate pair ``(u, v)`` is
+
+    accept  iff  edge_uniform(u, v, skg_seed) < P[u -> v]
+
+with :func:`repro.util.hashing.edge_uniform` supplying the uniform -- a
+pure splitmix64 function of ``(skg_seed, u, v)``.  There is no RNG
+state, so the decision is independent of chunking, partitioning,
+backend, visit order, and visit *count*: a supervised retry or an
+elastic re-shard that re-enumerates a pair reaches the identical
+verdict, which is what makes SKG compose with the checkpoint/resume
+machinery without any new bookkeeping.
+
+For undirected specs the uniform is canonicalized over ``{u, v}``
+(``directed=False`` hashing) and ``theta`` is symmetric, so both
+directions of a pair are accepted or rejected together and the sampled
+edge set is symmetric by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edgelist import EdgeList
+from repro.skg.model import SKGSpec, edge_probabilities
+from repro.util.hashing import edge_uniform
+
+__all__ = ["SKGAcceptor", "skg_accept_mask", "skg_sample_edges"]
+
+
+def skg_accept_mask(
+    spec: SKGSpec,
+    u: np.ndarray,
+    v: np.ndarray,
+    *,
+    thetas: np.ndarray | None = None,
+) -> np.ndarray:
+    """Boolean acceptance mask for candidate pairs ``(u, v)``.
+
+    ``thetas`` lets hot-path callers reuse a precomputed
+    ``spec.level_matrices()`` instead of rebuilding it per chunk.
+    """
+    uu = np.asarray(u, dtype=np.int64)
+    vv = np.asarray(v, dtype=np.int64)
+    if thetas is None:
+        thetas = spec.level_matrices()
+    p = edge_probabilities(thetas, uu, vv)
+    uniform = edge_uniform(uu, vv, spec.skg_seed, directed=spec.directed)
+    mask = uniform < p
+    if not spec.self_loops:
+        mask &= uu != vv
+    return mask
+
+
+class SKGAcceptor:
+    """Reusable per-rank acceptance filter with telemetry counters.
+
+    Binds one :class:`~repro.skg.model.SKGSpec`, caches its per-level
+    matrices, and counts accepted/rejected candidates across calls so
+    the rank program can emit ``skg.accepted`` / ``skg.rejected`` once
+    at the end instead of per chunk.  The acceptor itself is never
+    shipped across process boundaries -- rank programs receive the
+    (picklable) spec and construct their own.
+    """
+
+    __slots__ = ("spec", "_thetas", "accepted", "rejected")
+
+    def __init__(self, spec: SKGSpec) -> None:
+        self.spec = spec
+        self._thetas = spec.level_matrices()
+        self.accepted = 0
+        self.rejected = 0
+
+    def mask(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Acceptance mask for one candidate block, updating counters."""
+        m = skg_accept_mask(self.spec, u, v, thetas=self._thetas)
+        kept = int(np.count_nonzero(m))
+        self.accepted += kept
+        self.rejected += m.size - kept
+        return m
+
+    def filter(
+        self, u: np.ndarray, v: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return only the accepted ``(u, v)`` pairs of one block."""
+        m = self.mask(u, v)
+        return u[m], v[m]
+
+    def filter_edges(self, edges: np.ndarray) -> np.ndarray:
+        """Filter an ``(m, 2)`` edge block to its accepted rows."""
+        if len(edges) == 0:
+            return edges
+        return edges[self.mask(edges[:, 0], edges[:, 1])]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SKGAcceptor({self.spec!r}, accepted={self.accepted}, "
+            f"rejected={self.rejected})"
+        )
+
+
+def skg_sample_edges(spec: SKGSpec, *, chunk_size: int = 1 << 18) -> EdgeList:
+    """Serial reference sampler: materialize the full SKG edge list.
+
+    Enumerates all ``N**2`` ordered pairs in row-major chunks and keeps
+    the accepted ones -- the oracle the distributed paths are compared
+    against bit-for-bit.  Intended for small ``k``; the distributed
+    generator is the scalable path.
+    """
+    n = spec.n
+    total = n * n
+    acceptor = SKGAcceptor(spec)
+    kept: list[np.ndarray] = []
+    for start in range(0, total, chunk_size):
+        stop = min(start + chunk_size, total)
+        flat = np.arange(start, stop, dtype=np.int64)
+        u = flat // np.int64(n)
+        v = flat - u * np.int64(n)
+        au, av = acceptor.filter(u, v)
+        if len(au):
+            kept.append(np.column_stack([au, av]))
+    if kept:
+        edges = np.vstack(kept)
+    else:
+        edges = np.empty((0, 2), dtype=np.int64)
+    return EdgeList(edges, n)

@@ -44,6 +44,39 @@ class TestChaosMatrix:
         assert any(p.startswith("drop") for p in fired)
 
 
+class TestSkgChaos:
+    def test_skg_cells_recover_bit_identical(self, tmp_path):
+        """A trimmed SKG chaos run: crash + drop plans, thread backend.
+
+        The full SKG matrix (both backends, plus the socket subset) runs
+        in CI; this in-process cut proves the stochastic model composes
+        with fault recovery exactly like the exact model.
+        """
+        from repro.skg.distributed import skg_candidate_factors
+        from repro.skg.model import SKGSpec
+
+        spec = SKGSpec.from_library("polblogs", k=6, skg_seed=3)
+        a, b = skg_candidate_factors(spec.k)
+        plans = [
+            p for p in default_fault_matrix(seed=0, nranks=4)
+            if p.name.startswith(("crash", "drop"))
+        ][:4]
+        assert plans
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            report = run_chaos_matrix(
+                a, b, 4,
+                plans=plans,
+                backends=("thread",),
+                model="skg",
+                skg=spec,
+                recv_timeout_s=2.0,
+                checkpoint_root=tmp_path,
+            )
+        assert report.all_recovered, f"skg chaos failed:\n{report.to_text()}"
+        assert len(report.outcomes) == len(plans)
+
+
 class TestChaosCli:
     def test_trimmed_cli_run(self, capsys):
         with warnings.catch_warnings():

@@ -1,4 +1,4 @@
-"""Integration test: the full experiment runner (E1-E8 + A1/A2)."""
+"""Integration test: the full experiment runner (E1-E8 + A1/A2 + S1)."""
 
 import pytest
 
@@ -15,7 +15,7 @@ class TestRunAll:
         for field in (
             "e1_scaling_laws", "e2_gnutella_table", "e3_fig1", "e4_fig2",
             "e5_remark1", "e6_closeness", "e7_triangles", "e8_rejection",
-            "a1_exploit", "a2_artifacts",
+            "a1_exploit", "a2_artifacts", "s1_skg_validation",
         ):
             assert getattr(results, field) is not None
 
@@ -29,11 +29,13 @@ class TestRunAll:
         assert results.e7_triangles.points[-1].global_speedup > 10
         assert results.e8_rejection.monotone
         assert results.a2_artifacts.num_missing_primes > 0
+        assert results.s1_skg_validation.passed
 
     def test_report_renders_every_section(self, results):
         report = render_report(results)
         for marker in ("## E1", "## E2", "## E3", "## E4", "## E5",
-                       "## E6", "## E7", "## E8", "## A1", "## A2"):
+                       "## E6", "## E7", "## E8", "## A1", "## A2",
+                       "## S1"):
             assert marker in report
 
     def test_report_reflects_ground_truth_outcomes(self, results):
